@@ -1,0 +1,122 @@
+(* Ablations over the design choices DESIGN.md calls out: routing order,
+   virtual-channel count, buffer depth and flit width — each swept with
+   the same synthetic workloads, reporting both performance and the area
+   the resource model charges for the configuration. *)
+
+module Sim = Apiary_engine.Sim
+module Rng = Apiary_engine.Rng
+module Stats = Apiary_engine.Stats
+module Mesh = Apiary_noc.Mesh
+module Coord = Apiary_noc.Coord
+module Routing = Apiary_noc.Routing
+module Traffic = Apiary_noc.Traffic
+module Packet = Apiary_noc.Packet
+module Area = Apiary_resource.Area
+open Bench_util
+
+let run_mesh ?(cols = 4) ?(rows = 4) ?(vcs = 2) ?(depth = 4) ?(flit_bytes = 16)
+    ?(routing = Routing.Xy) ~pattern ~rate ~payload_bytes ~cycles () =
+  let sim = Sim.create () in
+  let mesh : int Mesh.t =
+    Mesh.create sim
+      { Mesh.cols; rows; vcs; depth; flit_bytes; routing; qos = false }
+  in
+  let rng = Rng.create ~seed:17 in
+  let gen = Traffic.start mesh ~rng ~pattern ~rate ~payload_bytes ~payload:0 () in
+  Sim.run_for sim cycles;
+  Traffic.stop_gen gen;
+  Sim.run_for sim (cycles / 4);
+  let delivered = Mesh.packets_delivered mesh in
+  let flits = Packet.flits_for ~flit_bytes ~payload_bytes in
+  ( p50 (Mesh.latency mesh),
+    p99 (Mesh.latency mesh),
+    float_of_int (delivered * flits) /. float_of_int cycles /. float_of_int (cols * rows),
+    float_of_int delivered /. float_of_int (max 1 (Traffic.offered gen)) )
+
+let routing_ablation () =
+  subhead "routing order on a non-square (8x2) mesh, uniform traffic";
+  (* On a rectangular mesh the dimension traversed first carries the long
+     hauls: XY loads the 8-wide X links, YX funnels through the 2-tall Y
+     links — the classic reason dimension order must match the aspect
+     ratio. (On a square mesh the two are symmetric duals.) *)
+  let row routing name =
+    let l50, l99, sat, acc =
+      run_mesh ~cols:8 ~rows:2 ~routing ~pattern:Traffic.Uniform ~rate:0.25
+        ~payload_bytes:32 ~cycles:30_000 ()
+    in
+    [ name; i l50; i l99; f2 sat; pct acc ]
+  in
+  table
+    [ "routing"; "p50"; "p99"; "sat fl/cyc/tile"; "delivered" ]
+    [ row Routing.Xy "XY (long dim first)"; row Routing.Yx "YX (short dim first)" ]
+
+let vc_ablation () =
+  subhead "virtual channels: class separation vs router area";
+  (* VC = class in this NoC, so extra VCs buy isolation between traffic
+     classes, not raw bandwidth: measure a small class-1 flow's p99 under
+     a heavy class-0 load of large packets sharing the same links. *)
+  let run_classes ~vcs =
+    let sim = Sim.create () in
+    let mesh : int Mesh.t =
+      Mesh.create sim
+        { Mesh.cols = 4; rows = 4; vcs; depth = 4; flit_bytes = 16;
+          routing = Routing.Xy; qos = false }
+    in
+    let rng = Rng.create ~seed:23 in
+    let _bulk =
+      Traffic.start mesh ~rng ~pattern:(Traffic.Hotspot (Coord.make 2 2, 0.7))
+        ~rate:0.15 ~payload_bytes:512 ~cls:0 ~payload:0 ()
+    in
+    Sim.every sim 200 (fun () ->
+        Mesh.send mesh ~src:(Coord.make 0 2) ~dst:(Coord.make 3 2) ~cls:1
+          ~payload_bytes:16 0);
+    Sim.run_for sim 40_000;
+    p99 (Mesh.latency_of_class mesh 1)
+  in
+  let rows =
+    List.map
+      (fun vcs ->
+        let a = Area.router { Area.vcs; depth = 4; flit_bits = 128 } in
+        [ i vcs; i (run_classes ~vcs); commas a.Area.luts ])
+      [ 1; 2; 4 ]
+  in
+  table [ "VCs"; "small-flow p99 under bulk load (cyc)"; "router LUTs" ] rows
+
+let depth_ablation () =
+  subhead "input buffer depth (uniform, rate 0.4, 32 B)";
+  let rows =
+    List.map
+      (fun depth ->
+        let _, l99, sat, _ =
+          run_mesh ~depth ~pattern:Traffic.Uniform ~rate:0.4 ~payload_bytes:32
+            ~cycles:30_000 ()
+        in
+        let a = Area.router { Area.vcs = 2; depth; flit_bits = 128 } in
+        [ i depth; f2 sat; i l99; commas a.Area.luts ])
+      [ 2; 4; 8; 16 ]
+  in
+  table [ "depth (flits)"; "sat fl/cyc/tile"; "p99 (cyc)"; "router LUTs" ] rows
+
+let flit_width_ablation () =
+  subhead "flit width: serialization latency vs area (1 KiB payload, low load)";
+  let rows =
+    List.map
+      (fun flit_bytes ->
+        let l50, _, _, _ =
+          run_mesh ~flit_bytes ~pattern:Traffic.Uniform ~rate:0.002
+            ~payload_bytes:1024 ~cycles:30_000 ()
+        in
+        let a = Area.router { Area.vcs = 2; depth = 4; flit_bits = flit_bytes * 8 } in
+        [ i (flit_bytes * 8); i l50; commas a.Area.luts ])
+      [ 8; 16; 32; 64 ]
+  in
+  table [ "flit bits"; "1 KiB pkt p50 (cyc)"; "router LUTs" ] rows;
+  Printf.printf
+    "\n(wider flits buy packet latency linearly and cost crossbar area\n superlinearly — the knob a hardened NoC turns for you)\n"
+
+let run () =
+  header "ABL" "design-choice ablations (routing / VCs / depth / flit width)";
+  routing_ablation ();
+  vc_ablation ();
+  depth_ablation ();
+  flit_width_ablation ()

@@ -1,0 +1,54 @@
+(* Shared helpers for the experiment harness: headers, table rendering,
+   cycle/time conversions and common simulation setups. *)
+
+module Sim = Apiary_engine.Sim
+module Stats = Apiary_engine.Stats
+
+let cycle_ns = 4.0 (* 250 MHz fabric *)
+
+let us_of_cycles c = float_of_int c *. cycle_ns /. 1000.0
+
+let header id title =
+  Printf.printf "\n=== %s: %s ===\n" id title
+
+let subhead s = Printf.printf "\n-- %s --\n" s
+
+(* Render a table: column titles + rows of strings, auto-width. *)
+let table cols rows =
+  let all = cols :: rows in
+  let ncols = List.length cols in
+  let width i =
+    List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    List.iteri
+      (fun i cell -> Printf.printf "%-*s  " (List.nth widths i) cell)
+      row;
+    print_newline ()
+  in
+  print_row cols;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let i = string_of_int
+let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+
+let p50 h = Stats.Histogram.percentile h 50.0
+let p99 h = Stats.Histogram.percentile h 99.0
+
+let throughput_per_sec ~count ~cycles =
+  float_of_int count /. (float_of_int cycles *. cycle_ns *. 1e-9)
+
+let commas n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun idx c ->
+      if idx > 0 && (len - idx) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

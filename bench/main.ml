@@ -1,0 +1,48 @@
+(* Benchmark/experiment driver.
+
+     dune exec bench/main.exe            # everything (T1, F1, E1..E10, micro)
+     dune exec bench/main.exe -- t1 e4   # selected experiments
+     dune exec bench/main.exe -- micro   # Bechamel microbenchmarks only
+
+   Each experiment prints the table(s) it regenerates; EXPERIMENTS.md
+   maps them to the paper's claims. *)
+
+let registry =
+  [
+    ("t1", ("paper Table 1 + part capacity", Experiments.t1));
+    ("f1", ("paper Figure 1 configuration + isolation matrix", Experiments.fig1));
+    ("e1", ("monitor overhead: area/latency/policing", Experiments.e1));
+    ("e2", ("direct-attached vs host-mediated KV", Experiments.e2));
+    ("e3", ("NoC scalability + wiring model", Experiments.e3));
+    ("e4", ("isolation under attack", Experiments.e4));
+    ("e5", ("segments+caps vs paging", Experiments.e5));
+    ("e6", ("fail-stop vs preemptible contexts", Experiments.e6));
+    ("e7", ("scale-out behind a load balancer", Experiments.e7));
+    ("e8", ("IPC microbenchmarks", Experiments.e8));
+    ("e9", ("QoS under congestion", Experiments.e9));
+    ("e10", ("partial reconfiguration under load", Experiments.e10));
+    ("e11", ("remote OS services over the network", Experiments.e11));
+    ("abl", ("design-choice ablations (routing/VCs/depth/flit width)", Ablations.run));
+    ("micro", ("Bechamel primitive costs", Micro.run));
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment ...]";
+  print_endline "experiments:";
+  List.iter (fun (id, (desc, _)) -> Printf.printf "  %-6s %s\n" id desc) registry;
+  print_endline "  all    run everything (default)"
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] | _ :: [ "all" ] ->
+    List.iter (fun (_, (_, f)) -> f ()) registry
+  | _ :: args ->
+    let bad = List.filter (fun a -> not (List.mem_assoc a registry)) args in
+    if bad <> [] || List.mem "--help" args || List.mem "-h" args then usage ()
+    else
+      List.iter
+        (fun a ->
+          let _, f = List.assoc a registry in
+          f ())
+        args
+  | [] -> usage ()

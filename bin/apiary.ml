@@ -1,0 +1,278 @@
+(* The `apiary` command-line driver: run simulated boards and inspect the
+   OS from a terminal.
+
+     apiary run --scenario kv --cycles 300000 --clients 4
+     apiary run --scenario vpipe --trace
+     apiary noc --pattern hotspot --rate 0.1 --cols 8 --rows 8
+     apiary area --part VU9P --tiles 16
+
+   See README.md for a walkthrough. *)
+
+module Sim = Apiary_engine.Sim
+module Rng = Apiary_engine.Rng
+module Stats = Apiary_engine.Stats
+module Mesh = Apiary_noc.Mesh
+module Coord = Apiary_noc.Coord
+module Traffic = Apiary_noc.Traffic
+module Kernel = Apiary_core.Kernel
+module Monitor = Apiary_core.Monitor
+module Trace = Apiary_core.Trace
+module Kv = Apiary_accel.Kv
+module Accels = Apiary_accel.Accels
+module Client = Apiary_net.Client
+module Netproto = Apiary_net.Netproto
+module Board = Apiary_apps.Board
+module Video_pipeline = Apiary_apps.Video_pipeline
+module Parts = Apiary_resource.Parts
+module Area = Apiary_resource.Area
+module Floorplan = Apiary_resource.Floorplan
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+type scenario = Echo | Kv_scenario | Vpipe
+
+let scenario_conv =
+  let parse = function
+    | "echo" -> Ok Echo
+    | "kv" -> Ok Kv_scenario
+    | "vpipe" -> Ok Vpipe
+    | s -> Error (`Msg (Printf.sprintf "unknown scenario %S (echo|kv|vpipe)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with Echo -> "echo" | Kv_scenario -> "kv" | Vpipe -> "vpipe")
+  in
+  Arg.conv (parse, print)
+
+let percentiles name h =
+  Printf.printf "%-18s n=%-8d p50=%-8d p99=%-8d max=%d cycles\n" name
+    (Stats.Histogram.count h)
+    (Stats.Histogram.percentile h 50.0)
+    (Stats.Histogram.percentile h 99.0)
+    (Stats.Histogram.max_value h)
+
+let run_cmd scenario cycles clients enforce trace_on seed =
+  let sim = Sim.create () in
+  let kcfg =
+    {
+      Kernel.default_config with
+      Kernel.monitor = { Monitor.default_config with Monitor.enforce };
+    }
+  in
+  let board = Board.create ~kernel_cfg:kcfg sim in
+  let kernel = board.Board.kernel in
+  if trace_on then Trace.set_enabled (Kernel.trace kernel) true;
+  let service, op, gen =
+    match scenario with
+    | Echo ->
+      (match Board.user_tiles board with
+      | t :: _ -> Kernel.install kernel ~tile:t (Accels.echo ())
+      | [] -> ());
+      ("echo", Accels.op_echo, fun _ -> Bytes.make 64 'e')
+    | Kv_scenario ->
+      let kv_b, _ = Kv.behavior () in
+      (match Board.user_tiles board with
+      | t :: _ -> Kernel.install kernel ~tile:t kv_b
+      | [] -> ());
+      let rng = Rng.create ~seed in
+      ( "kv",
+        Kv.Proto.opcode,
+        fun _ ->
+          let key = Printf.sprintf "k%d" (Rng.zipf rng ~n:200 ~theta:0.9) in
+          if Rng.chance rng 0.1 then Kv.Proto.encode_req (Kv.Proto.Put (key, Bytes.make 128 'v'))
+          else Kv.Proto.encode_req (Kv.Proto.Get key) )
+    | Vpipe ->
+      (match Board.user_tiles board with
+      | enc :: comp :: _ ->
+        Video_pipeline.install kernel ~encoder_tile:enc ~compressor_tile:comp
+      | _ -> ());
+      let rng = Rng.create ~seed in
+      let chunk = Rng.bytes_compressible rng 1024 ~redundancy:0.85 in
+      ("vpipe", Accels.op_encode, fun _ -> chunk)
+  in
+  let cs =
+    List.init clients (fun idx ->
+        let c = Board.client board ~port:(idx + 1) () in
+        Sim.after sim (2_000 + (idx * 71)) (fun () ->
+            Client.start_closed c { Client.service; op; gen } ~concurrency:4);
+        c)
+  in
+  Sim.run_for sim cycles;
+  List.iter Client.stop cs;
+  let lat = Stats.Histogram.create "latency" in
+  let total = ref 0 and errs = ref 0 in
+  List.iter
+    (fun c ->
+      Stats.Histogram.merge_into ~src:(Client.latency c) ~dst:lat;
+      total := !total + Client.completed c;
+      errs := !errs + Client.errors c)
+    cs;
+  Printf.printf "scenario completed: %d requests (%d errors) in %d cycles (%.0f req/s)\n"
+    !total !errs cycles
+    (float_of_int !total /. (float_of_int cycles *. 4e-9));
+  percentiles "client latency" lat;
+  Printf.printf "fabric: %d messages, %d denied\n" (Kernel.total_msgs kernel)
+    (Kernel.total_denied kernel);
+  if trace_on then begin
+    Printf.printf "\n--- last trace events ---\n";
+    let evs = Trace.events (Kernel.trace kernel) in
+    let n = List.length evs in
+    List.iteri
+      (fun idx (e : Trace.event) ->
+        if idx >= n - 30 then
+          Printf.printf "[%8d] tile%-3d %-5s %s\n" e.Trace.cycle e.Trace.tile
+            (Trace.dir_to_string e.Trace.dir) e.Trace.detail)
+      evs
+  end;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* noc *)
+
+let pattern_conv =
+  let parse = function
+    | "uniform" -> Ok `Uniform
+    | "hotspot" -> Ok `Hotspot
+    | "transpose" -> Ok `Transpose
+    | "neighbor" -> Ok `Neighbor
+    | s -> Error (`Msg (Printf.sprintf "unknown pattern %S" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with
+      | `Uniform -> "uniform"
+      | `Hotspot -> "hotspot"
+      | `Transpose -> "transpose"
+      | `Neighbor -> "neighbor")
+  in
+  Arg.conv (parse, print)
+
+let noc_cmd pattern rate cols rows payload cycles qos seed =
+  let sim = Sim.create () in
+  let mesh : int Mesh.t =
+    Mesh.create sim { Mesh.default_config with Mesh.cols; rows; qos }
+  in
+  let pattern =
+    match pattern with
+    | `Uniform -> Traffic.Uniform
+    | `Hotspot -> Traffic.Hotspot (Coord.make (cols / 2) (rows / 2), 0.5)
+    | `Transpose -> Traffic.Transpose
+    | `Neighbor -> Traffic.Neighbor
+  in
+  let rng = Rng.create ~seed in
+  let gen =
+    Traffic.start mesh ~rng ~pattern ~rate ~payload_bytes:payload ~payload:0 ()
+  in
+  Sim.run_for sim cycles;
+  Traffic.stop_gen gen;
+  Sim.run_for sim (cycles / 4);
+  Printf.printf "pattern=%s rate=%.3f mesh=%dx%d payload=%dB\n"
+    (Traffic.pattern_to_string pattern)
+    rate cols rows payload;
+  Printf.printf "offered=%d delivered=%d (%.1f%%)\n" (Traffic.offered gen)
+    (Mesh.packets_delivered mesh)
+    (100.0
+    *. float_of_int (Mesh.packets_delivered mesh)
+    /. float_of_int (max 1 (Traffic.offered gen)));
+  percentiles "packet latency" (Mesh.latency mesh);
+  Printf.printf "flits routed: %d (%.3f flits/cycle/router)\n"
+    (Mesh.flits_routed mesh)
+    (float_of_int (Mesh.flits_routed mesh)
+    /. float_of_int (cycles * cols * rows));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* area *)
+
+let area_cmd part tiles cap_entries flit_bits =
+  match Parts.find part with
+  | None ->
+    Printf.eprintf "unknown part %S; known: %s\n" part
+      (String.concat ", " (List.map (fun p -> p.Parts.name) Parts.all));
+    1
+  | Some part ->
+    let noc = { Area.vcs = 2; depth = 4; flit_bits } in
+    Printf.printf "part %s: %d logic cells\n" part.Parts.name part.Parts.logic_cells;
+    let per_tile = Area.per_tile noc ~cap_entries in
+    Format.printf "per-tile OS hardware: %a@." Area.pp per_tile;
+    (match Floorplan.plan ~part ~tiles ~noc ~cap_entries with
+    | Some p -> Format.printf "%a@." Floorplan.pp_plan p
+    | None -> Printf.printf "the OS alone does not fit at %d tiles\n" tiles);
+    Printf.printf "max tiles with 64 kc slots: %d\n"
+      (Floorplan.max_tiles ~part ~noc ~cap_entries ~min_slot_cells:64_000);
+    0
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
+
+let run_term =
+  let scenario =
+    Arg.(value & opt scenario_conv Echo & info [ "scenario"; "s" ]
+           ~doc:"Scenario: echo, kv or vpipe.")
+  in
+  let cycles =
+    Arg.(value & opt int 200_000 & info [ "cycles" ] ~doc:"Cycles to simulate.")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Client hosts on the switch.")
+  in
+  let enforce =
+    Arg.(value & opt bool true & info [ "enforce" ]
+           ~doc:"Capability enforcement + rate limiting.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Record and dump the message trace.")
+  in
+  Term.(const run_cmd $ scenario $ cycles $ clients $ enforce $ trace $ seed_arg)
+
+let run_cmd_info = Cmd.info "run" ~doc:"Run a board scenario with network clients"
+
+let noc_term =
+  let pattern =
+    Arg.(value & opt pattern_conv `Uniform & info [ "pattern" ]
+           ~doc:"uniform, hotspot, transpose or neighbor.")
+  in
+  let rate =
+    Arg.(value & opt float 0.02 & info [ "rate" ] ~doc:"Packets/tile/cycle.")
+  in
+  let cols = Arg.(value & opt int 4 & info [ "cols" ] ~doc:"Mesh columns.") in
+  let rows = Arg.(value & opt int 4 & info [ "rows" ] ~doc:"Mesh rows.") in
+  let payload = Arg.(value & opt int 32 & info [ "payload" ] ~doc:"Payload bytes.") in
+  let cycles = Arg.(value & opt int 50_000 & info [ "cycles" ] ~doc:"Cycles.") in
+  let qos = Arg.(value & flag & info [ "qos" ] ~doc:"Class-priority arbitration.") in
+  Term.(const noc_cmd $ pattern $ rate $ cols $ rows $ payload $ cycles $ qos $ seed_arg)
+
+let noc_cmd_info = Cmd.info "noc" ~doc:"Characterize the NoC with synthetic traffic"
+
+let area_term =
+  let part =
+    Arg.(value & opt string "VU9P" & info [ "part" ] ~doc:"FPGA part name.")
+  in
+  let tiles = Arg.(value & opt int 16 & info [ "tiles" ] ~doc:"Tile count.") in
+  let caps =
+    Arg.(value & opt int 256 & info [ "caps" ] ~doc:"Capability table entries.")
+  in
+  let flits =
+    Arg.(value & opt int 128 & info [ "flit-bits" ] ~doc:"Flit width in bits.")
+  in
+  Term.(const area_cmd $ part $ tiles $ caps $ flits)
+
+let area_cmd_info = Cmd.info "area" ~doc:"Resource model: OS footprint on a part"
+
+let () =
+  let doc = "Apiary: a microkernel OS for direct-attached FPGAs (simulated)" in
+  let info = Cmd.info "apiary" ~version:"0.1.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            Cmd.v run_cmd_info run_term;
+            Cmd.v noc_cmd_info noc_term;
+            Cmd.v area_cmd_info area_term;
+          ]))

@@ -1,0 +1,66 @@
+(* A network-attached key-value store on the FPGA, driven by multiple
+   client hosts with a YCSB-style skewed workload — the independent
+   tenant application of paper §2, measured the way a service owner
+   would: throughput and tail latency under increasing client load.
+
+   Run with:  dune exec examples/kv_service.exe *)
+
+module Sim = Apiary_engine.Sim
+module Rng = Apiary_engine.Rng
+module Stats = Apiary_engine.Stats
+module Kernel = Apiary_core.Kernel
+module Kv = Apiary_accel.Kv
+module Client = Apiary_net.Client
+module Netproto = Apiary_net.Netproto
+module Board = Apiary_apps.Board
+
+let keyspace = 500
+let value_bytes = 128
+
+let workload rng =
+  let value = Bytes.make value_bytes 'v' in
+  let gen _n =
+    let key = Printf.sprintf "key%05d" (Rng.zipf rng ~n:keyspace ~theta:0.99) in
+    if Rng.chance rng 0.1 then Kv.Proto.encode_req (Kv.Proto.Put (key, value))
+    else Kv.Proto.encode_req (Kv.Proto.Get key)
+  in
+  { Client.service = "kv"; op = Kv.Proto.opcode; gen }
+
+let run ~clients ~duration =
+  let sim = Sim.create () in
+  let board = Board.create sim in
+  let kv_behavior, kv_stats =
+    Kv.behavior ~store_bytes:(1 lsl 20) ()
+  in
+  (match Board.user_tiles board with
+  | t :: _ -> Kernel.install board.Board.kernel ~tile:t kv_behavior
+  | [] -> failwith "no tiles");
+  let rng = Rng.create ~seed:7 in
+  let cs =
+    List.init clients (fun i ->
+        let c = Board.client board ~port:(i + 1) () in
+        let r = Rng.split rng in
+        Sim.after sim (3_000 + (i * 97)) (fun () ->
+            Client.start_closed c (workload r) ~concurrency:4);
+        c)
+  in
+  Sim.run_for sim duration;
+  List.iter Client.stop cs;
+  let completed = List.fold_left (fun a c -> a + Client.completed c) 0 cs in
+  let lat = Stats.Histogram.create "all" in
+  List.iter (fun c -> Stats.Histogram.merge_into ~src:(Client.latency c) ~dst:lat) cs;
+  let seconds = float_of_int duration *. 4e-9 in
+  Printf.printf
+    "%2d client(s): %8.0f ops/s   p50=%-6d p99=%-6d cycles   hit-rate %.2f\n"
+    clients
+    (float_of_int completed /. seconds)
+    (Stats.Histogram.percentile lat 50.0)
+    (Stats.Histogram.percentile lat 99.0)
+    (1.0
+    -. float_of_int kv_stats.Kv.misses
+       /. float_of_int (max 1 kv_stats.Kv.gets))
+
+let () =
+  Printf.printf
+    "KV store on a direct-attached FPGA — YCSB-ish zipf(0.99) reads 90%% / writes 10%%\n\n";
+  List.iter (fun clients -> run ~clients ~duration:300_000) [ 1; 2; 4; 6 ]

@@ -1,0 +1,220 @@
+(* ------------------------------------------------------------------ *)
+(* RLE: stream of (run length 1..255, byte) pairs. *)
+
+let rle_encode src =
+  let n = Bytes.length src in
+  let out = Buffer.create (n / 2 + 8) in
+  let i = ref 0 in
+  while !i < n do
+    let b = Bytes.get src !i in
+    let run = ref 1 in
+    while !i + !run < n && !run < 255 && Bytes.get src (!i + !run) = b do
+      incr run
+    done;
+    Buffer.add_uint8 out !run;
+    Buffer.add_char out b;
+    i := !i + !run
+  done;
+  Buffer.to_bytes out
+
+let rle_decode src =
+  let n = Bytes.length src in
+  if n mod 2 <> 0 then Error "rle: odd input length"
+  else begin
+    let out = Buffer.create (n * 2) in
+    let ok = ref true in
+    let i = ref 0 in
+    while !i < n do
+      let run = Char.code (Bytes.get src !i) in
+      let b = Bytes.get src (!i + 1) in
+      if run = 0 then ok := false;
+      for _ = 1 to run do
+        Buffer.add_char out b
+      done;
+      i := !i + 2
+    done;
+    if !ok then Ok (Buffer.to_bytes out) else Error "rle: zero run length"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* LZ77 with a 4 KiB window.
+   Token stream: 0x00 len<1..255> <len literal bytes>
+                 0x01 dist_hi dist_lo len  (match of len+4 at distance) *)
+
+let window = 4095
+let min_match = 4
+let max_match = 255 + min_match
+
+let lz_encode src =
+  let n = Bytes.length src in
+  let out = Buffer.create (n / 2 + 16) in
+  let positions : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  let lits = Buffer.create 256 in
+  let flush_lits () =
+    let s = Buffer.contents lits in
+    Buffer.clear lits;
+    let len = String.length s in
+    let i = ref 0 in
+    while !i < len do
+      let chunk = min 255 (len - !i) in
+      Buffer.add_uint8 out 0x00;
+      Buffer.add_uint8 out chunk;
+      Buffer.add_substring out s !i chunk;
+      i := !i + chunk
+    done
+  in
+  let i = ref 0 in
+  while !i < n do
+    let emit_literal () =
+      Buffer.add_char lits (Bytes.get src !i);
+      incr i
+    in
+    if !i + min_match > n then emit_literal ()
+    else begin
+      let key = Bytes.sub_string src !i min_match in
+      let cand = Hashtbl.find_opt positions key in
+      Hashtbl.replace positions key !i;
+      match cand with
+      | Some j when !i - j <= window ->
+        let limit = min (n - !i) max_match in
+        let len = ref 0 in
+        (* Overlapping matches are fine: the decoder copies byte-wise. *)
+        while !len < limit && Bytes.get src (j + !len) = Bytes.get src (!i + !len) do
+          incr len
+        done;
+        if !len >= min_match then begin
+          flush_lits ();
+          let dist = !i - j in
+          Buffer.add_uint8 out 0x01;
+          Buffer.add_uint8 out (dist lsr 8);
+          Buffer.add_uint8 out (dist land 0xFF);
+          Buffer.add_uint8 out (!len - min_match);
+          i := !i + !len
+        end
+        else emit_literal ()
+      | Some _ | None -> emit_literal ()
+    end
+  done;
+  flush_lits ();
+  Buffer.to_bytes out
+
+let lz_decode src =
+  let n = Bytes.length src in
+  let out = Buffer.create (n * 3) in
+  let err = ref None in
+  let i = ref 0 in
+  let fail m =
+    err := Some m;
+    i := n
+  in
+  while !i < n do
+    match Char.code (Bytes.get src !i) with
+    | 0x00 ->
+      if !i + 2 > n then fail "lz: truncated literal header"
+      else begin
+        let len = Char.code (Bytes.get src (!i + 1)) in
+        if len = 0 then fail "lz: zero literal run"
+        else if !i + 2 + len > n then fail "lz: truncated literals"
+        else begin
+          Buffer.add_subbytes out src (!i + 2) len;
+          i := !i + 2 + len
+        end
+      end
+    | 0x01 ->
+      if !i + 4 > n then fail "lz: truncated match"
+      else begin
+        let dist =
+          (Char.code (Bytes.get src (!i + 1)) lsl 8)
+          lor Char.code (Bytes.get src (!i + 2))
+        in
+        let len = Char.code (Bytes.get src (!i + 3)) + min_match in
+        let pos = Buffer.length out in
+        if dist = 0 || dist > pos then fail "lz: bad distance"
+        else begin
+          for k = 0 to len - 1 do
+            Buffer.add_char out (Buffer.nth out (pos - dist + k))
+          done;
+          i := !i + 4
+        end
+      end
+    | t -> fail (Printf.sprintf "lz: bad token %d" t)
+  done;
+  match !err with Some m -> Error m | None -> Ok (Buffer.to_bytes out)
+
+(* ------------------------------------------------------------------ *)
+(* Video transform: closed-loop DPCM per row (predict from the
+   reconstructed left neighbour), quantized deltas, then RLE.
+   Header: q u8, width u16, length u32. *)
+
+let clamp_byte v = if v < 0 then 0 else if v > 255 then 255 else v
+let clamp_i8 v = if v < -128 then -128 else if v > 127 then 127 else v
+
+let dpcm_forward ~q ~width src =
+  let n = Bytes.length src in
+  let out = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let row_end = min n (!i + width) in
+    let prev = ref 0 in
+    for x = !i to row_end - 1 do
+      let v = Char.code (Bytes.get src x) in
+      let d = v - !prev in
+      let dq = clamp_i8 (d asr q) in
+      Bytes.set out x (Char.chr (dq land 0xFF));
+      prev := clamp_byte (!prev + (dq lsl q))
+    done;
+    i := row_end
+  done;
+  out
+
+let dpcm_inverse ~q ~width src =
+  let n = Bytes.length src in
+  let out = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let row_end = min n (!i + width) in
+    let prev = ref 0 in
+    for x = !i to row_end - 1 do
+      let raw = Char.code (Bytes.get src x) in
+      let dq = if raw >= 128 then raw - 256 else raw in
+      prev := clamp_byte (!prev + (dq lsl q));
+      Bytes.set out x (Char.chr !prev)
+    done;
+    i := row_end
+  done;
+  out
+
+let video_encode ~q ~width src =
+  assert (q >= 0 && q <= 7);
+  assert (width >= 1 && width <= 0xFFFF);
+  let body = rle_encode (dpcm_forward ~q ~width src) in
+  let out = Buffer.create (Bytes.length body + 7) in
+  Buffer.add_uint8 out q;
+  Buffer.add_uint16_be out width;
+  Buffer.add_uint16_be out (Bytes.length src lsr 16);
+  Buffer.add_uint16_be out (Bytes.length src land 0xFFFF);
+  Buffer.add_bytes out body;
+  Buffer.to_bytes out
+
+let video_decode ~q ~width src =
+  if Bytes.length src < 7 then Error "video: truncated header"
+  else begin
+    let hq = Char.code (Bytes.get src 0) in
+    let hw = (Char.code (Bytes.get src 1) lsl 8) lor Char.code (Bytes.get src 2) in
+    let hlen =
+      (Char.code (Bytes.get src 3) lsl 24)
+      lor (Char.code (Bytes.get src 4) lsl 16)
+      lor (Char.code (Bytes.get src 5) lsl 8)
+      lor Char.code (Bytes.get src 6)
+    in
+    if hq <> q then Error "video: quantizer mismatch"
+    else if hw <> width then Error "video: width mismatch"
+    else
+      match rle_decode (Bytes.sub src 7 (Bytes.length src - 7)) with
+      | Error e -> Error e
+      | Ok body ->
+        if Bytes.length body <> hlen then Error "video: length mismatch"
+        else Ok (dpcm_inverse ~q ~width body)
+  end
+
+let max_error ~q = if q = 0 then 128 else (1 lsl q) - 1

@@ -1,0 +1,26 @@
+(** Data transforms implemented by the accelerator library.
+
+    These are real, reversible codecs — composition experiments move real
+    bytes and tests verify end-to-end integrity, not just message counts.
+
+    - {b RLE}: byte-oriented run-length encoding (lossless).
+    - {b LZ}: a small LZ77 variant with a 4 KiB window (lossless) —
+      stands in for the third-party compression accelerator of paper §2.
+    - {b delta/quantize}: row-delta + quantization transform (lossy, like
+      a toy video intra-frame encoder); [video_decode] inverts it up to
+      the quantization error. *)
+
+val rle_encode : bytes -> bytes
+val rle_decode : bytes -> (bytes, string) result
+
+val lz_encode : bytes -> bytes
+val lz_decode : bytes -> (bytes, string) result
+
+val video_encode : q:int -> width:int -> bytes -> bytes
+(** [q] is the quantization shift (0–7); larger = smaller output, more
+    loss. [width] is the row stride in bytes. *)
+
+val video_decode : q:int -> width:int -> bytes -> (bytes, string) result
+
+val max_error : q:int -> int
+(** Worst-case per-byte reconstruction error of the video codec. *)

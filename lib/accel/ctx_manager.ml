@@ -1,0 +1,166 @@
+module Checksum = Apiary_engine.Checksum
+module Message = Apiary_core.Message
+module Shell = Apiary_core.Shell
+
+type stats = {
+  mutable served : int;
+  mutable resident_hits : int;
+  mutable swap_ins : int;
+  mutable swap_outs : int;
+  mutable queued : int;
+}
+
+let state_bytes = 8
+
+type ctx = { mutable sum : int32; mutable count : int; mutable dead : bool }
+
+let serialize c =
+  let b = Bytes.create state_bytes in
+  Bytes.set_int32_be b 0 c.sum;
+  Bytes.set_int32_be b 4 (Int32.of_int (c.count lor if c.dead then 0x40000000 else 0));
+  b
+
+let deserialize b c =
+  c.sum <- Bytes.get_int32_be b 0;
+  let raw = Int32.to_int (Bytes.get_int32_be b 4) in
+  c.count <- raw land 0x3FFFFFFF;
+  c.dead <- raw land 0x40000000 <> 0
+
+type slot = { mutable owner : int (* logical ctx, -1 = free *); state : ctx }
+
+type mgr = {
+  logical : int;
+  slots : slot array;
+  mutable seg : Shell.mem_handle option;
+  resident_of : int array;  (* logical ctx -> slot index, -1 = swapped out *)
+  mutable lru : int list;  (* slot indices, most recent first *)
+  mutable busy_swapping : bool;
+  pending : (Message.t * Multi_ctx.Proto.req) Queue.t;
+  st : stats;
+}
+
+let touch m si = m.lru <- si :: List.filter (fun x -> x <> si) m.lru
+
+let lru_victim m =
+  match List.rev m.lru with
+  | v :: _ -> v
+  | [] -> 0
+
+let respond sh msg status =
+  Shell.respond sh msg ~opcode:Multi_ctx.Proto.opcode
+    (Multi_ctx.Proto.encode_resp status)
+
+(* Serve a request whose context is resident in [si]. *)
+let serve m sh msg (r : Multi_ctx.Proto.req) si =
+  let c = m.slots.(si).state in
+  touch m si;
+  if c.dead then respond sh msg Multi_ctx.Proto.Ctx_dead
+  else if r.Multi_ctx.Proto.poison then begin
+    c.dead <- true;
+    respond sh msg Multi_ctx.Proto.Poisoned
+  end
+  else begin
+    Shell.busy sh (8 + (Bytes.length r.Multi_ctx.Proto.data / 16));
+    let combined = Bytes.create (Bytes.length r.Multi_ctx.Proto.data + 4) in
+    Bytes.set_int32_be combined 0 c.sum;
+    Bytes.blit r.Multi_ctx.Proto.data 0 combined 4 (Bytes.length r.Multi_ctx.Proto.data);
+    c.sum <- Checksum.adler32 combined;
+    c.count <- c.count + 1;
+    m.st.served <- m.st.served + 1;
+    respond sh msg (Multi_ctx.Proto.Accum c.sum)
+  end
+
+(* Bring [ctx_id] on-tile: evict the LRU victim (write-back), then fetch
+   the target state. Exactly one swap runs at a time. *)
+let rec swap_in m sh msg r ctx_id =
+  m.busy_swapping <- true;
+  let seg = Option.get m.seg in
+  let si = lru_victim m in
+  let finish_fetch () =
+    Shell.read_mem sh seg ~off:(ctx_id * state_bytes) ~len:state_bytes (fun res ->
+        (match res with
+        | Ok b -> deserialize b m.slots.(si).state
+        | Error _ ->
+          (* Treat an unreadable context as dead rather than corrupt. *)
+          m.slots.(si).state.dead <- true);
+        m.slots.(si).owner <- ctx_id;
+        m.resident_of.(ctx_id) <- si;
+        m.st.swap_ins <- m.st.swap_ins + 1;
+        m.busy_swapping <- false;
+        serve m sh msg r si;
+        drain_pending m sh)
+  in
+  let victim = m.slots.(si).owner in
+  if victim >= 0 then begin
+    m.resident_of.(victim) <- -1;
+    m.st.swap_outs <- m.st.swap_outs + 1;
+    Shell.write_mem sh seg ~off:(victim * state_bytes)
+      (serialize m.slots.(si).state) (fun _ -> finish_fetch ())
+  end
+  else finish_fetch ()
+
+and handle m sh msg (r : Multi_ctx.Proto.req) =
+  let ctx_id = r.Multi_ctx.Proto.ctx in
+  if ctx_id >= m.logical then respond sh msg Multi_ctx.Proto.Ctx_dead
+  else if m.busy_swapping then begin
+    m.st.queued <- m.st.queued + 1;
+    Queue.add (msg, r) m.pending
+  end
+  else
+    match m.resident_of.(ctx_id) with
+    | si when si >= 0 ->
+      m.st.resident_hits <- m.st.resident_hits + 1;
+      serve m sh msg r si
+    | _ -> swap_in m sh msg r ctx_id
+
+and drain_pending m sh =
+  if (not m.busy_swapping) && not (Queue.is_empty m.pending) then begin
+    let msg, r = Queue.take m.pending in
+    handle m sh msg r
+  end
+
+let behavior ?(service = "ctxmgr") ~logical ~resident () =
+  assert (logical >= 1 && resident >= 1 && resident <= logical);
+  let m =
+    {
+      logical;
+      slots =
+        Array.init resident (fun _ ->
+            { owner = -1; state = { sum = 1l; count = 0; dead = false } });
+      seg = None;
+      resident_of = Array.make logical (-1);
+      lru = List.init resident (fun si -> si);
+      busy_swapping = false;
+      pending = Queue.create ();
+      st = { served = 0; resident_hits = 0; swap_ins = 0; swap_outs = 0; queued = 0 };
+    }
+  in
+  let on_boot sh =
+    Shell.alloc sh ~bytes:(logical * state_bytes) (fun res ->
+        match res with
+        | Error e ->
+          Shell.raise_fault sh
+            (Printf.sprintf "ctxmgr: no swap segment: %s" (Shell.rpc_error_to_string e))
+        | Ok seg ->
+          (* Initialize every context's backing state. *)
+          let zero = serialize { sum = 1l; count = 0; dead = false } in
+          let rec init i =
+            if i >= logical then begin
+              m.seg <- Some seg;
+              Shell.register_service sh service
+            end
+            else
+              Shell.write_mem sh seg ~off:(i * state_bytes) zero (fun _ ->
+                  init (i + 1))
+          in
+          init 0)
+  in
+  let on_message sh (msg : Message.t) =
+    match msg.Message.kind with
+    | Message.Data { opcode } when opcode = Multi_ctx.Proto.opcode ->
+      (match Multi_ctx.Proto.decode_req msg.Message.payload with
+      | Ok r -> handle m sh msg r
+      | Error _ -> ())
+    | _ -> ()
+  in
+  (Shell.behavior service ~on_boot ~on_message, m.st)

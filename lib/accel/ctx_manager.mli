@@ -1,0 +1,28 @@
+module Shell := Apiary_core.Shell
+
+(** Context swapping — the OS half of the paper's §4.4 preemption story:
+    once an accelerator's architectural state can be externalized, the
+    monitor/OS can hold {e more user contexts than the accelerator has
+    resident slots} by swapping victim state to DRAM.
+
+    This manager serves the {!Multi_ctx.Proto} protocol for [logical]
+    contexts while keeping only [resident] of them on-tile. A request for
+    a swapped-out context triggers a real eviction (capability-checked
+    DRAM write of the LRU victim's serialized state) and a fetch (DRAM
+    read) before the request is served — so swap costs are measured, not
+    assumed. Requests arriving mid-swap queue behind it. *)
+
+type stats = {
+  mutable served : int;
+  mutable resident_hits : int;
+  mutable swap_ins : int;
+  mutable swap_outs : int;
+  mutable queued : int;  (** requests that had to wait for a swap *)
+}
+
+val behavior :
+  ?service:string -> logical:int -> resident:int -> unit ->
+  Shell.behavior * stats
+(** All [logical] contexts start zeroed in a DRAM segment allocated at
+    boot. [resident] must be at least 1. Poison requests kill only the
+    targeted context (the manager is inherently preemptible). *)

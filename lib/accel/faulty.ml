@@ -1,0 +1,47 @@
+module Sim = Apiary_engine.Sim
+module Rng = Apiary_engine.Rng
+module Message = Apiary_core.Message
+module Shell = Apiary_core.Shell
+
+type plan =
+  | Crash_at of int
+  | Hang_at of int
+  | Wild_send_at of { at : int; dst : Message.addr; payload_bytes : int }
+  | Flood_via_conn_at of { at : int; service : string; payload_bytes : int }
+  | Mem_stomp_at of { at : int; addr : int; len : int }
+
+let arm sh plan =
+  let sim = Shell.sim sh in
+  let at_cycle at f =
+    let d = at - Sim.now sim in
+    Sim.after sim (max 1 d) f
+  in
+  match plan with
+  | Crash_at at -> at_cycle at (fun () -> Shell.raise_fault sh "injected crash")
+  | Hang_at at -> at_cycle at (fun () -> Shell.busy sh (1 lsl 40))
+  | Wild_send_at { at; dst; payload_bytes } ->
+    at_cycle at (fun () ->
+        Shell.send_raw sh ~dst ~opcode:0xBAD (Rng.bytes (Shell.rng sh) payload_bytes))
+  | Flood_via_conn_at { at; service; payload_bytes } ->
+    at_cycle at (fun () ->
+        Shell.connect sh ~service (fun r ->
+            match r with
+            | Error _ -> ()
+            | Ok conn ->
+              let junk = Rng.bytes (Shell.rng sh) payload_bytes in
+              Sim.add_ticker sim (fun () -> Shell.send_data sh conn ~opcode:0xF1 junk)))
+  | Mem_stomp_at { at; addr; len } ->
+    at_cycle at (fun () ->
+        let forged = { Shell.mcap = 0; base = addr; len } in
+        let garbage = Rng.bytes (Shell.rng sh) len in
+        Shell.write_mem sh forged ~off:0 garbage (fun _ -> ()))
+
+let wrap plans inner =
+  {
+    inner with
+    Shell.bname = inner.Shell.bname ^ "+faulty";
+    on_boot =
+      (fun sh ->
+        inner.Shell.on_boot sh;
+        List.iter (arm sh) plans);
+  }

@@ -1,0 +1,27 @@
+module Shell := Apiary_core.Shell
+module Message := Apiary_core.Message
+
+(** Fault and misbehaviour injection — the adversarial accelerators of
+    experiment E4 and the failure modes of paper §4.4.
+
+    [wrap plans inner] behaves exactly like [inner] until a plan's
+    trigger cycle, then misbehaves. Plans compose: a tile can flood and
+    later crash. All misbehaviours use only the shell API — exactly the
+    attack surface an untrusted accelerator really has. *)
+
+type plan =
+  | Crash_at of int
+      (** Explicit internal error: [Shell.raise_fault] (fail-stop). *)
+  | Hang_at of int
+      (** Go busy forever: stops draining the queue (watchdog fodder). *)
+  | Wild_send_at of { at : int; dst : Message.addr; payload_bytes : int }
+      (** Send to a tile we hold no capability for. *)
+  | Flood_via_conn_at of { at : int; service : string; payload_bytes : int }
+      (** Connect legitimately, then emit one message every cycle —
+          resource exhaustion through an authorized channel. *)
+  | Mem_stomp_at of { at : int; addr : int; len : int }
+      (** Forge a memory handle for an absolute address we do not own and
+          write garbage over it. Caught by the monitor when enforcement
+          is on; corrupts a co-tenant when it is off. *)
+
+val wrap : plan list -> Shell.behavior -> Shell.behavior

@@ -1,0 +1,198 @@
+module Checksum = Apiary_engine.Checksum
+module Seg_alloc = Apiary_mem.Seg_alloc
+module Message = Apiary_core.Message
+module Shell = Apiary_core.Shell
+
+module Proto = struct
+  let opcode = 0x4B56 (* "KV" *)
+
+  type req = Get of string | Put of string * bytes | Del of string
+
+  type resp =
+    | Found of bytes
+    | Stored
+    | Deleted
+    | Not_found
+    | Failed of string
+
+  let encode_req r =
+    let out = Buffer.create 32 in
+    (match r with
+    | Get k ->
+      Buffer.add_uint8 out 0;
+      Buffer.add_uint16_be out (String.length k);
+      Buffer.add_string out k
+    | Put (k, v) ->
+      Buffer.add_uint8 out 1;
+      Buffer.add_uint16_be out (String.length k);
+      Buffer.add_string out k;
+      Buffer.add_bytes out v
+    | Del k ->
+      Buffer.add_uint8 out 2;
+      Buffer.add_uint16_be out (String.length k);
+      Buffer.add_string out k);
+    Buffer.to_bytes out
+
+  let decode_req b =
+    let n = Bytes.length b in
+    if n < 3 then Error "kv: short request"
+    else begin
+      let klen = (Char.code (Bytes.get b 1) lsl 8) lor Char.code (Bytes.get b 2) in
+      if 3 + klen > n then Error "kv: bad key length"
+      else
+        let k = Bytes.sub_string b 3 klen in
+        match Char.code (Bytes.get b 0) with
+        | 0 -> Ok (Get k)
+        | 1 -> Ok (Put (k, Bytes.sub b (3 + klen) (n - 3 - klen)))
+        | 2 -> Ok (Del k)
+        | t -> Error (Printf.sprintf "kv: bad op %d" t)
+    end
+
+  let encode_resp r =
+    let out = Buffer.create 32 in
+    (match r with
+    | Found v ->
+      Buffer.add_uint8 out 0;
+      Buffer.add_bytes out v
+    | Stored -> Buffer.add_uint8 out 1
+    | Deleted -> Buffer.add_uint8 out 2
+    | Not_found -> Buffer.add_uint8 out 3
+    | Failed reason ->
+      Buffer.add_uint8 out 4;
+      Buffer.add_string out reason);
+    Buffer.to_bytes out
+
+  let decode_resp b =
+    if Bytes.length b < 1 then Error "kv: empty response"
+    else
+      let rest () = Bytes.sub b 1 (Bytes.length b - 1) in
+      match Char.code (Bytes.get b 0) with
+      | 0 -> Ok (Found (rest ()))
+      | 1 -> Ok Stored
+      | 2 -> Ok Deleted
+      | 3 -> Ok Not_found
+      | 4 -> Ok (Failed (Bytes.to_string (rest ())))
+      | t -> Error (Printf.sprintf "kv: bad status %d" t)
+end
+
+type stats = {
+  mutable gets : int;
+  mutable puts : int;
+  mutable dels : int;
+  mutable misses : int;
+  mutable corruptions : int;
+  mutable oom : int;
+}
+
+type entry = { off : int; len : int; crc : int32 }
+
+type store = {
+  mutable seg : Shell.mem_handle option;
+  mutable arena : Seg_alloc.t option;  (* sub-allocator inside the segment *)
+  index : (string, entry) Hashtbl.t;
+  st : stats;
+}
+
+let behavior ?(service = "kv") ?(store_bytes = 256 * 1024) ?(base_cost = 16)
+    ?(cost_per_byte_x16 = 1) () =
+  let s =
+    {
+      seg = None;
+      arena = None;
+      index = Hashtbl.create 256;
+      st = { gets = 0; puts = 0; dels = 0; misses = 0; corruptions = 0; oom = 0 };
+    }
+  in
+  let charge sh bytes =
+    Shell.busy sh (base_cost + (cost_per_byte_x16 * (bytes / 16)))
+  in
+  let respond sh msg resp =
+    Shell.respond sh msg ~opcode:Proto.opcode (Proto.encode_resp resp)
+  in
+  let handle_put sh msg key value =
+    match (s.seg, s.arena) with
+    | Some seg, Some arena ->
+      s.st.puts <- s.st.puts + 1;
+      charge sh (Bytes.length value);
+      (* Replace semantics: drop any existing entry first. *)
+      (match Hashtbl.find_opt s.index key with
+      | Some old ->
+        Hashtbl.remove s.index key;
+        Seg_alloc.free arena old.off
+      | None -> ());
+      (match Seg_alloc.alloc arena ~align:16 (max 1 (Bytes.length value)) with
+      | Error `Out_of_memory ->
+        s.st.oom <- s.st.oom + 1;
+        respond sh msg (Proto.Failed "store full")
+      | Ok off ->
+        Shell.write_mem sh seg ~off:(off - seg.Shell.base) value (fun r ->
+            match r with
+            | Ok () ->
+              Hashtbl.replace s.index key
+                { off; len = Bytes.length value; crc = Checksum.adler32 value };
+              respond sh msg Proto.Stored
+            | Error e ->
+              Seg_alloc.free arena off;
+              respond sh msg (Proto.Failed (Shell.rpc_error_to_string e))))
+    | _ -> respond sh msg (Proto.Failed "store not ready")
+
+  and handle_get sh msg key =
+    match (s.seg, Hashtbl.find_opt s.index key) with
+    | Some seg, Some e ->
+      s.st.gets <- s.st.gets + 1;
+      charge sh e.len;
+      Shell.read_mem sh seg ~off:(e.off - seg.Shell.base) ~len:e.len (fun r ->
+          match r with
+          | Ok data ->
+            if Checksum.adler32 data = e.crc then respond sh msg (Proto.Found data)
+            else begin
+              s.st.corruptions <- s.st.corruptions + 1;
+              respond sh msg (Proto.Failed "integrity check failed")
+            end
+          | Error e -> respond sh msg (Proto.Failed (Shell.rpc_error_to_string e)))
+    | _, None ->
+      s.st.gets <- s.st.gets + 1;
+      s.st.misses <- s.st.misses + 1;
+      charge sh 0;
+      respond sh msg Proto.Not_found
+    | None, _ -> respond sh msg (Proto.Failed "store not ready")
+
+  and handle_del sh msg key =
+    match (s.arena, Hashtbl.find_opt s.index key) with
+    | Some arena, Some e ->
+      s.st.dels <- s.st.dels + 1;
+      charge sh 0;
+      Hashtbl.remove s.index key;
+      Seg_alloc.free arena e.off;
+      respond sh msg Proto.Deleted
+    | _, None ->
+      s.st.dels <- s.st.dels + 1;
+      s.st.misses <- s.st.misses + 1;
+      respond sh msg Proto.Not_found
+    | None, _ -> respond sh msg (Proto.Failed "store not ready")
+  in
+  let on_boot sh =
+    Shell.alloc sh ~bytes:store_bytes (fun r ->
+        match r with
+        | Ok seg ->
+          s.seg <- Some seg;
+          s.arena <-
+            Some (Seg_alloc.create ~base:seg.Shell.base ~size:seg.Shell.len
+                    Seg_alloc.First_fit);
+          Shell.register_service sh service
+        | Error e ->
+          Shell.raise_fault sh
+            (Printf.sprintf "kv: cannot allocate store: %s"
+               (Shell.rpc_error_to_string e)))
+  in
+  let on_message sh (msg : Message.t) =
+    match msg.Message.kind with
+    | Message.Data { opcode } when opcode = Proto.opcode ->
+      (match Proto.decode_req msg.Message.payload with
+      | Error e -> respond sh msg (Proto.Failed e)
+      | Ok (Proto.Get k) -> handle_get sh msg k
+      | Ok (Proto.Put (k, v)) -> handle_put sh msg k v
+      | Ok (Proto.Del k) -> handle_del sh msg k)
+    | _ -> ()
+  in
+  (Shell.behavior service ~on_boot ~on_message, s.st)

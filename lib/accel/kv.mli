@@ -1,0 +1,51 @@
+module Shell := Apiary_core.Shell
+
+(** A key-value store accelerator — the paper's §2 example of an
+    independent tenant application hosted on a shared FPGA (after
+    Caribou/multi-tenant KV work it cites).
+
+    Values live in real simulated DRAM behind the memory service: a PUT
+    allocates from the accelerator's segment and issues capability-checked
+    writes; a GET issues reads. Every value is stored with an Adler-32
+    checksum, so memory corruption by a co-tenant (the E4
+    enforcement-off experiment) is {e detected} at read time rather than
+    silently returned. *)
+
+(** Wire protocol, also used by external clients (E2). *)
+module Proto : sig
+  val opcode : int
+  (** Data opcode carrying KV requests. *)
+
+  type req = Get of string | Put of string * bytes | Del of string
+
+  type resp =
+    | Found of bytes
+    | Stored
+    | Deleted
+    | Not_found
+    | Failed of string  (** includes detected corruption *)
+
+  val encode_req : req -> bytes
+  val decode_req : bytes -> (req, string) result
+  val encode_resp : resp -> bytes
+  val decode_resp : bytes -> (resp, string) result
+end
+
+(** Live operation counters. *)
+type stats = {
+  mutable gets : int;
+  mutable puts : int;
+  mutable dels : int;
+  mutable misses : int;
+  mutable corruptions : int;  (** checksum mismatches detected on GET *)
+  mutable oom : int;
+}
+
+val behavior :
+  ?service:string -> ?store_bytes:int -> ?base_cost:int -> ?cost_per_byte_x16:int ->
+  unit -> Shell.behavior * stats
+(** [service] defaults to ["kv"]. [store_bytes] is the DRAM segment the
+    store allocates at boot (default 256 KiB). Each operation charges
+    [base_cost] cycles (default 16) plus [cost_per_byte_x16] cycles per
+    16 bytes of value (default 1) of accelerator compute, in addition to
+    the real DRAM access latency. *)

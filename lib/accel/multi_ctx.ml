@@ -1,0 +1,135 @@
+module Checksum = Apiary_engine.Checksum
+module Message = Apiary_core.Message
+module Shell = Apiary_core.Shell
+
+module Proto = struct
+  let opcode = 0x4358 (* "CX" *)
+
+  type req = { ctx : int; poison : bool; data : bytes }
+  type status = Accum of int32 | Ctx_dead | Poisoned
+
+  let encode_req r =
+    let out = Buffer.create (Bytes.length r.data + 2) in
+    Buffer.add_uint8 out r.ctx;
+    Buffer.add_uint8 out (if r.poison then 1 else 0);
+    Buffer.add_bytes out r.data;
+    Buffer.to_bytes out
+
+  let decode_req b =
+    if Bytes.length b < 2 then Error "ctx: short request"
+    else
+      Ok
+        {
+          ctx = Char.code (Bytes.get b 0);
+          poison = Char.code (Bytes.get b 1) = 1;
+          data = Bytes.sub b 2 (Bytes.length b - 2);
+        }
+
+  let encode_resp = function
+    | Accum v ->
+      let out = Bytes.create 5 in
+      Bytes.set out 0 '\000';
+      Bytes.set_int32_be out 1 v;
+      out
+    | Ctx_dead -> Bytes.make 1 '\001'
+    | Poisoned -> Bytes.make 1 '\002'
+
+  let decode_resp b =
+    if Bytes.length b < 1 then Error "ctx: empty response"
+    else
+      match Char.code (Bytes.get b 0) with
+      | 0 ->
+        if Bytes.length b < 5 then Error "ctx: short accum"
+        else Ok (Accum (Bytes.get_int32_be b 1))
+      | 1 -> Ok Ctx_dead
+      | 2 -> Ok Poisoned
+      | t -> Error (Printf.sprintf "ctx: bad status %d" t)
+end
+
+type ctx = { mutable sum : int32; mutable count : int; mutable dead : bool }
+
+type api = { ctxs : ctx array; mutable ops : int }
+
+(* Architectural state serialization: sum(4) count(4). This is exactly
+   the state a SYNERGY-style tool would identify as needing save/restore. *)
+let serialize c =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 c.sum;
+  Bytes.set_int32_be b 4 (Int32.of_int c.count);
+  b
+
+let deserialize b =
+  if Bytes.length b <> 8 then Error "ctx: bad snapshot size"
+  else Ok (Bytes.get_int32_be b 0, Int32.to_int (Bytes.get_int32_be b 4))
+
+let behavior ?(service = "mctx") ~nctx ~preemptible ?(cost = 8) () =
+  assert (nctx >= 1 && nctx <= 256);
+  let api =
+    { ctxs = Array.init nctx (fun _ -> { sum = 1l; count = 0; dead = false }); ops = 0 }
+  in
+  let respond sh msg st =
+    Shell.respond sh msg ~opcode:Proto.opcode (Proto.encode_resp st)
+  in
+  let on_message sh (msg : Message.t) =
+    match msg.Message.kind with
+    | Message.Data { opcode } when opcode = Proto.opcode ->
+      (match Proto.decode_req msg.Message.payload with
+      | Error _ -> ()
+      | Ok r ->
+        if r.Proto.ctx >= nctx then respond sh msg Proto.Ctx_dead
+        else begin
+          let c = api.ctxs.(r.Proto.ctx) in
+          if c.dead then respond sh msg Proto.Ctx_dead
+          else if r.Proto.poison then
+            if preemptible then begin
+              (* Swap out just this context; peers keep their state and
+                 keep executing. *)
+              c.dead <- true;
+              respond sh msg Proto.Poisoned
+            end
+            else
+              (* No per-context state capture: the only safe reaction is
+                 tile-wide fail-stop. *)
+              Shell.raise_fault sh "unhandled error in context"
+          else begin
+            Shell.busy sh (cost + (Bytes.length r.Proto.data / 16));
+            (* Fold the data into the session checksum: order-dependent
+               state that proves continuity across swaps. *)
+            let combined = Bytes.create (Bytes.length r.Proto.data + 4) in
+            Bytes.set_int32_be combined 0 c.sum;
+            Bytes.blit r.Proto.data 0 combined 4 (Bytes.length r.Proto.data);
+            c.sum <- Checksum.adler32 combined;
+            c.count <- c.count + 1;
+            api.ops <- api.ops + 1;
+            respond sh msg (Proto.Accum c.sum)
+          end
+        end)
+    | _ -> ()
+  in
+  ( Shell.behavior service
+      ~on_boot:(fun sh -> Shell.register_service sh service)
+      ~on_message,
+    api )
+
+let snapshot api i =
+  if i < 0 || i >= Array.length api.ctxs then None
+  else
+    let c = api.ctxs.(i) in
+    if c.dead then None else Some (serialize c)
+
+let restore api i b =
+  if i < 0 || i >= Array.length api.ctxs then Error "ctx: out of range"
+  else
+    match deserialize b with
+    | Error e -> Error e
+    | Ok (sum, count) ->
+      let c = api.ctxs.(i) in
+      c.sum <- sum;
+      c.count <- count;
+      c.dead <- false;
+      Ok ()
+
+let alive api i =
+  i >= 0 && i < Array.length api.ctxs && not api.ctxs.(i).dead
+
+let ops_served api = api.ops

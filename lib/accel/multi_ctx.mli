@@ -1,0 +1,55 @@
+module Shell := Apiary_core.Shell
+
+(** Multi-context accelerator with optional preemption — the execution
+    model study of paper §4.4.
+
+    The accelerator hosts [nctx] independent user contexts (processes in
+    Apiary's sense: "one user context running on one accelerator").
+    Each context maintains per-session architectural state (a running
+    checksum and message count) that requests accumulate into, so losing
+    a context's state is observable.
+
+    A {e poison} request models an input that trips an internal error:
+
+    - [preemptible = true] (SYNERGY-style): the context's architectural
+      state is identified and isolated, so only that context is killed;
+      its peers keep running and its clients get an error status.
+    - [preemptible = false] (plain concurrent accelerator): the error is
+      unrecoverable and the whole tile fail-stops — every context dies.
+
+    Contexts can also be snapshotted and restored ({!snapshot} /
+    {!restore}), which is what lets the OS swap a context out to DRAM or
+    migrate it to another tile. *)
+
+(** Wire protocol. *)
+module Proto : sig
+  val opcode : int
+
+  type req = { ctx : int; poison : bool; data : bytes }
+
+  type status =
+    | Accum of int32  (** new running checksum after folding in [data] *)
+    | Ctx_dead
+    | Poisoned
+
+  val encode_req : req -> bytes
+  val decode_req : bytes -> (req, string) result
+  val encode_resp : status -> bytes
+  val decode_resp : bytes -> (status, string) result
+end
+
+type api
+
+val behavior :
+  ?service:string -> nctx:int -> preemptible:bool -> ?cost:int -> unit ->
+  Shell.behavior * api
+
+val snapshot : api -> int -> bytes option
+(** Serialize a context's architectural state ([None] if dead/out of
+    range). *)
+
+val restore : api -> int -> bytes -> (unit, string) result
+(** Install saved state into a context slot (revives a dead slot). *)
+
+val alive : api -> int -> bool
+val ops_served : api -> int

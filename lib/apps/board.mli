@@ -1,0 +1,50 @@
+(** A complete direct-attached FPGA board in its rack context: the Apiary
+    kernel on the fabric, a MAC wired to a ToR switch, the network OS
+    service bridging the two, and helpers to hang client hosts off the
+    switch.
+
+    This is the top-level assembly every example and experiment starts
+    from. *)
+
+module Sim := Apiary_engine.Sim
+module Kernel := Apiary_core.Kernel
+module Mac := Apiary_net.Mac
+module Switch := Apiary_net.Switch
+module Netsvc := Apiary_net.Netsvc
+module Client := Apiary_net.Client
+module Link := Apiary_net.Link
+
+type t = {
+  sim : Sim.t;
+  kernel : Kernel.t;
+  switch : Switch.t;
+  fpga_mac : Mac.t;
+  fpga_mac_addr : int;
+  net_tile : int;  (** tile hosting the network service *)
+  net_stats : Netsvc.stats;
+}
+
+val fpga_mac_addr : int
+(** 0x02_000000_F0CA (locally administered). *)
+
+val create :
+  ?kernel_cfg:Kernel.config ->
+  ?mac_gen:Mac.generation ->
+  ?switch_ports:int ->
+  ?net_tile:int ->
+  Sim.t ->
+  t
+(** Defaults: 100G board MAC on switch port 0, 8-port 1 µs switch, the
+    network service on the first user tile. *)
+
+val add_client_port :
+  t -> port:int -> ?gbps:float -> unit -> Mac.t * int
+(** Attach a host NIC to a switch port (default 10 Gb/s); returns the
+    MAC adapter and its address — feed these to {!Apiary_net.Client} or a
+    {!Apiary_baseline.Hosted} server. *)
+
+val client : t -> port:int -> ?gbps:float -> unit -> Client.t
+(** Convenience: an {!Apiary_net.Client} aimed at this board. *)
+
+val user_tiles : t -> int list
+(** Kernel user tiles minus the network-service tile. *)

@@ -1,0 +1,53 @@
+module Kernel = Apiary_core.Kernel
+module Accels = Apiary_accel.Accels
+module Codec = Apiary_accel.Codec
+
+let default_q = 2
+let default_width = 64
+
+let encode_stage ~service =
+  Accels.transform_stage ~service ~next:"compress"
+    ~f:(Codec.video_encode ~q:default_q ~width:default_width)
+    ()
+
+let install kernel ~encoder_tile ~compressor_tile =
+  Kernel.install kernel ~tile:compressor_tile (Accels.compressor ~algo:`Lz ());
+  Kernel.install kernel ~tile:encoder_tile (encode_stage ~service:"vpipe")
+
+let install_replicated kernel ~lb_tile ~encoder_tiles ~compressor_tile =
+  Kernel.install kernel ~tile:compressor_tile (Accels.compressor ~algo:`Lz ());
+  let backends =
+    List.mapi
+      (fun i tile ->
+        let service = Printf.sprintf "vpipe.enc%d" i in
+        Kernel.install kernel ~tile (encode_stage ~service);
+        service)
+      encoder_tiles
+  in
+  Kernel.install kernel ~tile:lb_tile (Accels.load_balancer ~service:"vpipe" ~backends ())
+
+let verify_output ~original response =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Bytes.length response > 12 && Bytes.sub_string response 0 11 = "STAGE-ERROR" then
+    fail "pipeline error: %s" (Bytes.to_string response)
+  else
+    match Codec.lz_decode response with
+    | Error e -> fail "decompress: %s" e
+    | Ok encoded ->
+      (match Codec.video_decode ~q:default_q ~width:default_width encoded with
+      | Error e -> fail "decode: %s" e
+      | Ok decoded ->
+        if Bytes.length decoded <> Bytes.length original then
+          fail "length mismatch: %d vs %d" (Bytes.length decoded)
+            (Bytes.length original)
+        else begin
+          let tol = Codec.max_error ~q:default_q in
+          let bad = ref (-1) in
+          for i = 0 to Bytes.length original - 1 do
+            let d =
+              abs (Char.code (Bytes.get decoded i) - Char.code (Bytes.get original i))
+            in
+            if d > tol && !bad < 0 then bad := i
+          done;
+          if !bad >= 0 then fail "error beyond tolerance at byte %d" !bad else Ok ()
+        end)

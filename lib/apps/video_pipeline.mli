@@ -1,0 +1,27 @@
+module Kernel := Apiary_core.Kernel
+
+(** The paper's §2 motivating application: a video-processing pipeline on
+    the shared FPGA — an encoding stage composed with a third-party
+    compression accelerator, optionally replicated behind a load balancer
+    for throughput (§4.1 scale-out).
+
+    The public service is ["vpipe"]: send a raw chunk, receive the
+    compressed encoding. {!verify_output} checks the full round trip
+    (decompress, decode, compare within the codec's error bound) so
+    experiments validate data integrity, not just completion. *)
+
+val default_q : int
+val default_width : int
+
+val install : Kernel.t -> encoder_tile:int -> compressor_tile:int -> unit
+(** Two-stage pipeline: ["vpipe"] (encode stage) on [encoder_tile]
+    forwarding to ["compress"] on [compressor_tile]. *)
+
+val install_replicated :
+  Kernel.t -> lb_tile:int -> encoder_tiles:int list -> compressor_tile:int -> unit
+(** ["vpipe"] is a load balancer spreading over one encode stage per
+    tile in [encoder_tiles], all sharing one compressor. *)
+
+val verify_output : original:bytes -> bytes -> (unit, string) result
+(** Decompress + decode a pipeline response and compare against the
+    original within the quantizer's error bound. *)

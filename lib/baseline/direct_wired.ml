@@ -1,0 +1,30 @@
+type cost = {
+  ports_per_tile : int;
+  wires_per_tile : int;
+  total_wires : int;
+  rewire_on_add_service : int;
+}
+
+let direct ~tiles ~services ~bus_bits =
+  (* One request+response port pair per service per tile. *)
+  let ports = 2 * services in
+  let wires = ports * bus_bits in
+  {
+    ports_per_tile = ports;
+    wires_per_tile = wires;
+    total_wires = tiles * wires;
+    (* Adding a service touches every tile plus the new service's mux. *)
+    rewire_on_add_service = tiles + 1;
+  }
+
+let noc ~tiles ~services:_ ~flit_bits =
+  (* One local port (in+out) per tile; 4 neighbour links (in+out), shared
+     across every service conversation. Mesh interior upper bound. *)
+  let ports = 2 in
+  let wires = (ports + 8) * flit_bits in
+  {
+    ports_per_tile = ports;
+    wires_per_tile = wires;
+    total_wires = tiles * wires;
+    rewire_on_add_service = 0;
+  }

@@ -1,0 +1,22 @@
+(** Wiring-scalability model of the pre-NoC composition style (paper
+    §4.3): each service an accelerator uses gets its own set of module
+    ports and dedicated wires, so physical interfaces grow with the
+    service count — versus Apiary's single NoC port where the destination
+    is a message field.
+
+    Pure combinational accounting; used by the E3 ablation table. *)
+
+type cost = {
+  ports_per_tile : int;
+  wires_per_tile : int;
+  total_wires : int;
+  rewire_on_add_service : int;
+      (** Interfaces that must change when one service is added. *)
+}
+
+val direct : tiles:int -> services:int -> bus_bits:int -> cost
+(** Every tile wired point-to-point to every service. *)
+
+val noc : tiles:int -> services:int -> flit_bits:int -> cost
+(** One NoC port per tile; mesh links between neighbours; adding a
+    service changes no physical interface. *)

@@ -1,0 +1,30 @@
+(** Energy accounting for the direct-attached vs host-mediated comparison
+    (paper §1: bypassing the CPU "further reduces energy").
+
+    The model charges active power over measured busy time plus per-byte
+    transfer energy. Constants are representative published figures:
+    a server core ≈ 12 W busy, an FPGA SmartNIC-class board ≈ 30 W with
+    ~40% attributable to dynamic activity, PCIe ≈ 15 pJ/bit moved, NIC
+    processing ≈ 5 pJ/bit. Absolute joules matter less than the shape:
+    which path burns CPU-seconds per request. *)
+
+type profile = {
+  cpu_core_watts : float;
+  fpga_dynamic_watts : float;
+  pcie_pj_per_byte : float;
+  nic_pj_per_byte : float;
+  cycle_seconds : float;  (** 4e-9 at 250 MHz *)
+}
+
+val default_profile : profile
+
+val hosted_uj :
+  ?profile:profile -> cpu_cycles:int -> accel_cycles:int -> pcie_bytes:int ->
+  net_bytes:int -> unit -> float
+(** Microjoules for a batch of hosted-path requests given measured busy
+    cycles and bytes moved. *)
+
+val direct_uj :
+  ?profile:profile -> fpga_cycles:int -> net_bytes:int -> unit -> float
+(** Microjoules for the direct-attached path: FPGA busy time (monitors +
+    NoC + accelerator) and network bytes; no CPU, no PCIe. *)

@@ -1,0 +1,23 @@
+type t = { read : bool; write : bool; grant : bool }
+
+let full = { read = true; write = true; grant = true }
+let rw = { read = true; write = true; grant = false }
+let ro = { read = true; write = false; grant = false }
+let send = { read = false; write = true; grant = false }
+let none = { read = false; write = false; grant = false }
+
+let leq a b = (not a) || b
+let subset a b = leq a.read b.read && leq a.write b.write && leq a.grant b.grant
+
+let inter a b =
+  { read = a.read && b.read; write = a.write && b.write; grant = a.grant && b.grant }
+
+let equal a b = a = b
+
+let to_string t =
+  Printf.sprintf "%c%c%c"
+    (if t.read then 'r' else '-')
+    (if t.write then 'w' else '-')
+    (if t.grant then 'g' else '-')
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,31 @@
+(** Access rights carried by a capability.
+
+    [grant] is the authority to derive attenuated children or hand the
+    capability to another tile; without it a capability is a leaf. *)
+
+type t = { read : bool; write : bool; grant : bool }
+
+val full : t
+(** Read, write and grant. *)
+
+val rw : t
+(** Read and write, no grant. *)
+
+val ro : t
+(** Read only. *)
+
+val send : t
+(** For endpoint capabilities "send" authority is encoded as [write]. *)
+
+val none : t
+
+val subset : t -> t -> bool
+(** [subset a b] — does [a] request no more authority than [b] holds?
+    The attenuation (monotonicity) relation. *)
+
+val inter : t -> t -> t
+(** Greatest lower bound. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

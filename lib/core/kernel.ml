@@ -1,0 +1,183 @@
+module Sim = Apiary_engine.Sim
+module Mesh = Apiary_noc.Mesh
+module Coord = Apiary_noc.Coord
+module Packet = Apiary_noc.Packet
+module Dram = Apiary_mem.Dram
+module Seg_alloc = Apiary_mem.Seg_alloc
+
+type config = {
+  mesh : Mesh.config;
+  monitor : Monitor.config;
+  monitor_overrides : (int * Monitor.config) list;
+  dram : Dram.config;
+  dram_bytes : int;
+  alloc_policy : Seg_alloc.policy;
+  name_tile : int;
+  mem_tile : int;
+  pr_bytes_per_cycle : int;
+  trace_capacity : int;
+}
+
+let default_config =
+  {
+    mesh = Mesh.default_config;
+    monitor = Monitor.default_config;
+    monitor_overrides = [];
+    dram = Dram.default_config;
+    dram_bytes = 64 * 1024 * 1024;
+    alloc_policy = Seg_alloc.First_fit;
+    name_tile = 0;
+    mem_tile = (Mesh.default_config.Mesh.cols * Mesh.default_config.Mesh.rows) - 1;
+    pr_bytes_per_cycle = 8;
+    trace_capacity = 4096;
+  }
+
+type t = {
+  k_sim : Sim.t;
+  cfg : config;
+  k_mesh : Message.t Mesh.t;
+  k_dram : Dram.t;
+  k_alloc : Seg_alloc.t;
+  k_trace : Trace.t;
+  monitors : Monitor.t array;
+  unregister_names : int -> unit;
+  mutable fault_subs : (int -> string -> unit) list;
+  mutable fault_log : (int * string) list;
+}
+
+let sim t = t.k_sim
+let n_tiles t = t.cfg.mesh.Mesh.cols * t.cfg.mesh.Mesh.rows
+let coord_of_tile t i = Coord.of_index ~cols:t.cfg.mesh.Mesh.cols i
+let tile_of_coord t c = Coord.to_index ~cols:t.cfg.mesh.Mesh.cols c
+let name_tile t = t.cfg.name_tile
+let mem_tile t = t.cfg.mem_tile
+
+let user_tiles t =
+  List.filter
+    (fun i -> i <> t.cfg.name_tile && i <> t.cfg.mem_tile)
+    (List.init (n_tiles t) (fun i -> i))
+
+let mesh t = t.k_mesh
+let dram t = t.k_dram
+let allocator t = t.k_alloc
+let trace t = t.k_trace
+let monitor t i = t.monitors.(i)
+
+let is_service_tile t i = i = t.cfg.name_tile || i = t.cfg.mem_tile
+
+let install t ~tile b =
+  if is_service_tile t tile then
+    invalid_arg (Printf.sprintf "Kernel.install: tile %d hosts an OS service" tile);
+  Monitor.reset t.monitors.(tile) b
+
+let restart_tile t ~tile b = Monitor.reset t.monitors.(tile) b
+
+let reconfigure t ~tile ~bitstream_bytes b ~on_done =
+  if is_service_tile t tile then
+    invalid_arg "Kernel.reconfigure: cannot reconfigure an OS service tile";
+  Monitor.set_offline t.monitors.(tile);
+  t.unregister_names tile;
+  let pr_cycles = max 1 (bitstream_bytes / t.cfg.pr_bytes_per_cycle) in
+  Sim.after t.k_sim pr_cycles (fun () ->
+      Monitor.reset t.monitors.(tile) b;
+      on_done ())
+
+let on_fault t f = t.fault_subs <- f :: t.fault_subs
+let faults t = List.rev t.fault_log
+
+let total_denied t =
+  Array.fold_left (fun acc m -> acc + Monitor.denied m) 0 t.monitors
+
+let total_msgs t =
+  Array.fold_left (fun acc m -> acc + Monitor.msgs_out m) 0 t.monitors
+
+let create sim cfg =
+  let ntiles = cfg.mesh.Mesh.cols * cfg.mesh.Mesh.rows in
+  assert (cfg.name_tile <> cfg.mem_tile);
+  assert (cfg.name_tile >= 0 && cfg.name_tile < ntiles);
+  assert (cfg.mem_tile >= 0 && cfg.mem_tile < ntiles);
+  let k_mesh = Mesh.create sim cfg.mesh in
+  let k_dram = Dram.create sim cfg.dram ~size_bytes:cfg.dram_bytes in
+  let k_alloc = Seg_alloc.create ~base:0 ~size:cfg.dram_bytes cfg.alloc_policy in
+  let k_trace = Trace.create ~capacity:cfg.trace_capacity () in
+  let name_behavior, unregister_names = Services.name_service () in
+  let mem_behavior = Services.mem_service k_dram k_alloc in
+  (* Monitors are created below; fabric closures capture the array. *)
+  let monitors_ref : Monitor.t array ref = ref [||] in
+  let t_ref = ref None in
+  let fire_fault tile reason =
+    match !t_ref with
+    | None -> ()
+    | Some t ->
+      t.fault_log <- (tile, reason) :: t.fault_log;
+      t.unregister_names tile;
+      List.iter (fun f -> f tile reason) t.fault_subs
+  in
+  let coord_of i = Coord.of_index ~cols:cfg.mesh.Mesh.cols i in
+  let fabric_of tile =
+    {
+      Monitor.f_inject =
+        (fun (m : Message.t) ->
+          let dst_tile = m.Message.dst.Message.tile in
+          if dst_tile < 0 || dst_tile >= ntiles then
+            (* Physically unroutable address: the NoC would drop it. *)
+            ()
+          else
+            let cls = min m.Message.cls (cfg.mesh.Mesh.vcs - 1) in
+            Mesh.send k_mesh ~src:(coord_of tile) ~dst:(coord_of dst_tile) ~cls
+              ~payload_bytes:(Message.size_bytes m) m);
+      f_flits =
+        (fun m ->
+          Packet.flits_for ~flit_bytes:cfg.mesh.Mesh.flit_bytes
+            ~payload_bytes:(Message.size_bytes m));
+      f_store_of = (fun i -> Monitor.store !monitors_ref.(i));
+      f_monitor_of = (fun i -> !monitors_ref.(i));
+      f_name_addr = { Message.tile = cfg.name_tile; ep = Message.app_ep };
+      f_mem_addr = { Message.tile = cfg.mem_tile; ep = Message.app_ep };
+      f_on_fault = fire_fault;
+    }
+  in
+  let monitor_cfg_of tile =
+    match List.assoc_opt tile cfg.monitor_overrides with
+    | Some c -> c
+    | None ->
+      if tile = cfg.name_tile || tile = cfg.mem_tile then
+        (* Trusted OS services are not rate-policed: the memory service
+           must stream DRAM replies at line rate. *)
+        { cfg.monitor with rate = 1e9; burst = 1 lsl 20 }
+      else cfg.monitor
+  in
+  let monitors =
+    Array.init ntiles (fun tile ->
+        let privileged = tile = cfg.name_tile || tile = cfg.mem_tile in
+        let behavior =
+          if tile = cfg.name_tile then name_behavior
+          else if tile = cfg.mem_tile then mem_behavior
+          else Monitor.idle_behavior
+        in
+        Monitor.create sim ~tile (monitor_cfg_of tile) (fabric_of tile)
+          ~trace:k_trace ~privileged behavior)
+  in
+  monitors_ref := monitors;
+  (* NoC delivery -> monitor ingress. *)
+  Array.iteri
+    (fun i m ->
+      Mesh.set_receiver k_mesh (coord_of i) (fun pkt ->
+          Monitor.ingress m pkt.Packet.payload))
+    monitors;
+  let t =
+    {
+      k_sim = sim;
+      cfg;
+      k_mesh;
+      k_dram;
+      k_alloc;
+      k_trace;
+      monitors;
+      unregister_names;
+      fault_subs = [];
+      fault_log = [];
+    }
+  in
+  t_ref := Some t;
+  t

@@ -1,0 +1,88 @@
+(** The Apiary static region: boots the fabric, wires monitors to the
+    NoC, hosts the OS service tiles, and orchestrates partial
+    reconfiguration.
+
+    In hardware this is the logic outside the dynamically reconfigurable
+    slots (paper §4.1): the NoC, the per-tile monitors, and the boot-time
+    placement of OS services. Everything an application does afterwards
+    goes through its tile's {!Monitor}/{!Shell}. *)
+
+module Sim := Apiary_engine.Sim
+module Mesh := Apiary_noc.Mesh
+module Coord := Apiary_noc.Coord
+module Dram := Apiary_mem.Dram
+module Seg_alloc := Apiary_mem.Seg_alloc
+
+type config = {
+  mesh : Mesh.config;
+  monitor : Monitor.config;
+  monitor_overrides : (int * Monitor.config) list;
+      (** Per-tile monitor configs (e.g. an enforcement-off tile). *)
+  dram : Dram.config;
+  dram_bytes : int;
+  alloc_policy : Seg_alloc.policy;
+  name_tile : int;  (** Tile hosting the name service (default 0). *)
+  mem_tile : int;
+      (** Tile hosting the memory service; place it at the edge where the
+          controller pins would be (default: last tile). *)
+  pr_bytes_per_cycle : int;
+      (** Partial-reconfiguration port bandwidth (ICAP ≈ 400 MB/s ⇒
+          ~6 B/cycle at 250 MHz... default 8). *)
+  trace_capacity : int;
+}
+
+val default_config : config
+(** 4x4 mesh, enforcing monitors, 64 MiB DRAM, first-fit segments. *)
+
+type t
+
+val create : Sim.t -> config -> t
+
+(** {1 Topology} *)
+
+val sim : t -> Sim.t
+val n_tiles : t -> int
+val coord_of_tile : t -> int -> Coord.t
+val tile_of_coord : t -> Coord.t -> int
+val name_tile : t -> int
+val mem_tile : t -> int
+
+val user_tiles : t -> int list
+(** Tiles available for accelerators (everything but the OS services). *)
+
+(** {1 Components} *)
+
+val mesh : t -> Message.t Mesh.t
+val dram : t -> Dram.t
+val allocator : t -> Seg_alloc.t
+val trace : t -> Trace.t
+val monitor : t -> int -> Monitor.t
+
+(** {1 Application management} *)
+
+val install : t -> tile:int -> Monitor.behavior -> unit
+(** Program a user tile's slot with a behavior (boots next cycle).
+    @raise Invalid_argument for OS service tiles. *)
+
+val reconfigure :
+  t -> tile:int -> bitstream_bytes:int -> Monitor.behavior ->
+  on_done:(unit -> unit) -> unit
+(** Partial reconfiguration (E10): quiesce the tile (revoking its
+    capabilities and unregistering its names), hold it offline for the
+    bitstream load time, then boot the new behavior. *)
+
+val restart_tile : t -> tile:int -> Monitor.behavior -> unit
+(** Immediate replacement after a fail-stop (no PR delay modelled). *)
+
+(** {1 Faults} *)
+
+val on_fault : t -> (int -> string -> unit) -> unit
+(** Subscribe to fail-stop notifications. *)
+
+val faults : t -> (int * string) list
+(** All fail-stops so far, oldest first. *)
+
+(** {1 Aggregate statistics} *)
+
+val total_denied : t -> int
+val total_msgs : t -> int

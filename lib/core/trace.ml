@@ -1,0 +1,66 @@
+type dir = Egress | Ingress | Denied | Dropped | Fault
+
+let dir_to_string = function
+  | Egress -> "out"
+  | Ingress -> "in"
+  | Denied -> "DENY"
+  | Dropped -> "drop"
+  | Fault -> "FAULT"
+
+type event = { cycle : int; tile : int; dir : dir; detail : string }
+
+type t = {
+  ring : event option array;
+  mutable next : int;
+  mutable total : int;
+  mutable on : bool;
+}
+
+let create ?(capacity = 4096) () =
+  assert (capacity > 0);
+  { ring = Array.make capacity None; next = 0; total = 0; on = false }
+
+let set_enabled t b = t.on <- b
+let enabled t = t.on
+
+let record t ~cycle ~tile ~dir ~detail =
+  if t.on then begin
+    t.ring.(t.next) <- Some { cycle; tile; dir; detail };
+    t.next <- (t.next + 1) mod Array.length t.ring;
+    t.total <- t.total + 1
+  end
+
+let record_lazy t ~cycle ~tile ~dir f =
+  if t.on then record t ~cycle ~tile ~dir ~detail:(f ())
+
+let events t =
+  let n = Array.length t.ring in
+  let rec collect i acc =
+    if i >= n then List.rev acc
+    else
+      let idx = (t.next + i) mod n in
+      match t.ring.(idx) with
+      | None -> collect (i + 1) acc
+      | Some e -> collect (i + 1) (e :: acc)
+  in
+  collect 0 []
+
+let count t = t.total
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "[%8d] tile%-3d %-5s %s@." e.cycle e.tile
+        (dir_to_string e.dir) e.detail)
+    (events t)
+
+let find t ?tile ?dir () =
+  let keep e =
+    (match tile with None -> true | Some x -> e.tile = x)
+    && match dir with None -> true | Some d -> e.dir = d
+  in
+  List.filter keep (events t)

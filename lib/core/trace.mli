@@ -1,0 +1,45 @@
+(** Message-level tracing — the debugging/monitoring support the paper
+    names as essential for accelerated microservices (§1, design goal
+    "Programmability").
+
+    A bounded ring buffer of per-monitor events; cheap when disabled.
+    Events carry the cycle, tile, direction and a one-line message
+    summary, so a whole cross-tile call chain can be reconstructed
+    after the fact. *)
+
+type dir =
+  | Egress  (** message admitted toward the NoC *)
+  | Ingress  (** message delivered to the tile *)
+  | Denied  (** egress blocked by a capability/rights check *)
+  | Dropped  (** discarded (draining tile, rate policy) *)
+  | Fault  (** fault-handling state change *)
+
+val dir_to_string : dir -> string
+
+type event = { cycle : int; tile : int; dir : dir; detail : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity defaults to 4096 events. *)
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+val record : t -> cycle:int -> tile:int -> dir:dir -> detail:string -> unit
+(** No-op when disabled. Overwrites the oldest event when full. *)
+
+val record_lazy : t -> cycle:int -> tile:int -> dir:dir -> (unit -> string) -> unit
+(** Like {!record} but only builds the detail string when enabled. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val count : t -> int
+(** Total events recorded since creation (including overwritten ones). *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit
+
+val find : t -> ?tile:int -> ?dir:dir -> unit -> event list
+(** Filter retained events. *)

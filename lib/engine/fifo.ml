@@ -1,0 +1,38 @@
+type 'a t = {
+  name : string;
+  capacity : int;
+  q : 'a Queue.t;
+  staged : 'a Queue.t;
+}
+
+let create sim ?(capacity = max_int) name =
+  assert (capacity > 0);
+  let t = { name; capacity; q = Queue.create (); staged = Queue.create () } in
+  Sim.add_committer sim (fun () -> Queue.transfer t.staged t.q);
+  t
+
+let name t = t.name
+let capacity t = t.capacity
+let length t = Queue.length t.q
+let occupancy t = Queue.length t.q + Queue.length t.staged
+let space t = t.capacity - occupancy t
+let is_empty t = Queue.is_empty t.q
+let is_full t = occupancy t >= t.capacity
+
+let push t x =
+  if is_full t then false
+  else begin
+    Queue.add x t.staged;
+    true
+  end
+
+let push_exn t x =
+  if not (push t x) then failwith (Printf.sprintf "Fifo.push_exn: %s full" t.name)
+
+let pop t = Queue.take_opt t.q
+let peek t = Queue.peek_opt t.q
+let iter f t = Queue.iter f t.q
+
+let clear t =
+  Queue.clear t.q;
+  Queue.clear t.staged

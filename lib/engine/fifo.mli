@@ -1,0 +1,46 @@
+(** Bounded two-phase FIFO modelling a registered hardware queue.
+
+    Pushes are staged and become visible only after the simulator's commit
+    phase at the end of the cycle, so a value written in cycle [t] can be
+    popped no earlier than cycle [t+1]. Capacity accounts for staged
+    entries, so producers see backpressure one cycle early — exactly the
+    behaviour of a synchronous FIFO with registered full/empty flags. *)
+
+type 'a t
+
+val create : Sim.t -> ?capacity:int -> string -> 'a t
+(** [create sim ~capacity name] registers the FIFO's commit step with
+    [sim]. Default capacity is unbounded. *)
+
+val name : 'a t -> string
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** Stage a value for commit at end of cycle. Returns [false] (and drops
+    nothing) when the queue, counting staged entries, is full. *)
+
+val push_exn : 'a t -> 'a -> unit
+(** Like {!push} but raises [Failure] when full. *)
+
+val pop : 'a t -> 'a option
+(** Take the oldest committed value. *)
+
+val peek : 'a t -> 'a option
+
+val length : 'a t -> int
+(** Committed entries only (what a consumer can see this cycle). *)
+
+val occupancy : 'a t -> int
+(** Committed + staged entries (what a producer must respect). *)
+
+val space : 'a t -> int
+(** Remaining room: [capacity - occupancy]. *)
+
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate committed entries, oldest first. *)
+
+val clear : 'a t -> unit
+(** Drop all committed and staged entries (used for fault drains). *)

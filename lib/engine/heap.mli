@@ -1,0 +1,29 @@
+(** Array-based binary min-heap, used as the simulator's event queue.
+
+    Elements are ordered by a comparison function supplied at creation.
+    All operations are imperative; the heap grows automatically. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Insert an element. O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it, or [None] if empty. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element, or [None] if empty. O(log n). *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (for debugging/tests). *)

@@ -1,0 +1,121 @@
+type event = { time : int; seq : int; fn : unit -> unit }
+
+type t = {
+  mutable clock : int;
+  events : event Heap.t;
+  mutable next_seq : int;
+  mutable tickers : (unit -> unit) array;
+  mutable n_tickers : int;
+  mutable committers : (unit -> unit) array;
+  mutable n_committers : int;
+  mutable stop_requested : bool;
+  mutable in_event_phase : bool;
+}
+
+let cmp_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    clock = 0;
+    events = Heap.create ~cmp:cmp_event;
+    next_seq = 0;
+    tickers = Array.make 8 (fun () -> ());
+    n_tickers = 0;
+    committers = Array.make 8 (fun () -> ());
+    n_committers = 0;
+    stop_requested = false;
+    in_event_phase = false;
+  }
+
+let now t = t.clock
+
+let at t time fn =
+  if time < t.clock || (time = t.clock && not t.in_event_phase) then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %d not schedulable at cycle %d" time t.clock);
+  Heap.push t.events { time; seq = t.next_seq; fn };
+  t.next_seq <- t.next_seq + 1
+
+let after t d fn =
+  assert (d >= 0);
+  let time = t.clock + d in
+  let time = if time = t.clock && not t.in_event_phase then time + 1 else time in
+  Heap.push t.events { time; seq = t.next_seq; fn };
+  t.next_seq <- t.next_seq + 1
+
+let every t ?start period fn =
+  assert (period > 0);
+  let first =
+    match start with
+    | Some s -> s
+    | None -> (t.clock / period * period) + period
+  in
+  let rec arm time =
+    at t time (fun () ->
+        fn ();
+        arm (time + period))
+  in
+  arm (max first (t.clock + 1))
+
+let push_fn arr n fn =
+  let arr = if n >= Array.length arr then begin
+      let narr = Array.make (Array.length arr * 2) (fun () -> ()) in
+      Array.blit arr 0 narr 0 n;
+      narr
+    end else arr
+  in
+  arr.(n) <- fn;
+  arr
+
+let add_ticker t fn =
+  t.tickers <- push_fn t.tickers t.n_tickers fn;
+  t.n_tickers <- t.n_tickers + 1
+
+let add_committer t fn =
+  t.committers <- push_fn t.committers t.n_committers fn;
+  t.n_committers <- t.n_committers + 1
+
+let run_due_events t =
+  t.in_event_phase <- true;
+  let rec loop () =
+    match Heap.peek t.events with
+    | Some e when e.time = t.clock ->
+      ignore (Heap.pop t.events);
+      e.fn ();
+      loop ()
+    | Some e when e.time < t.clock -> assert false
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.in_event_phase <- false
+
+let step t =
+  run_due_events t;
+  for i = 0 to t.n_tickers - 1 do
+    t.tickers.(i) ()
+  done;
+  for i = 0 to t.n_committers - 1 do
+    t.committers.(i) ()
+  done;
+  t.clock <- t.clock + 1
+
+let stop t = t.stop_requested <- true
+let stopped t = t.stop_requested
+
+let run_until t time =
+  t.stop_requested <- false;
+  while t.clock < time && not t.stop_requested do
+    (* Fast-forward across idle gaps when there are no clocked components. *)
+    if t.n_tickers = 0 && t.n_committers = 0 then begin
+      let next =
+        match Heap.peek t.events with Some e -> e.time | None -> time
+      in
+      if next > t.clock then t.clock <- min next time
+    end;
+    if t.clock < time then step t
+  done
+
+let run_for t n = run_until t (t.clock + n)
+let pending_events t = Heap.length t.events

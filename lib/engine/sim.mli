@@ -1,0 +1,62 @@
+(** Hybrid discrete-event / cycle-stepped simulation core.
+
+    The simulator advances in integer cycles. Within one cycle, execution
+    proceeds in three deterministic phases:
+
+    + {b events} scheduled for the current cycle run in (time, insertion)
+      order — used for timed completions (DRAM, timeouts, link delays);
+    + {b tickers} run in registration order — clocked components
+      (routers, monitors, accelerators) do their per-cycle work;
+    + {b committers} run in registration order — two-phase state such as
+      {!Fifo} moves staged writes into visible state, so phase-2 components
+      never observe values written in the same cycle regardless of their
+      relative order.
+
+    This mirrors registered (flip-flop) hardware semantics: every
+    producer→consumer hop costs at least one cycle, and results do not
+    depend on component registration order. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current cycle. *)
+
+val at : t -> int -> (unit -> unit) -> unit
+(** [at t time f] runs [f] in the event phase of cycle [time].
+    [time] must not be in the past. *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** [after t d f] is [at t (now t + d) f]; [d >= 0]. A delay of [0] runs
+    in the event phase of the current cycle if that phase has not finished,
+    otherwise in the next cycle. *)
+
+val every : t -> ?start:int -> int -> (unit -> unit) -> unit
+(** [every t ~start period f] runs [f] in the event phase each [period]
+    cycles, first at cycle [start] (default: next multiple of [period]). *)
+
+val add_ticker : t -> (unit -> unit) -> unit
+(** Register a per-cycle ticker (phase 2). *)
+
+val add_committer : t -> (unit -> unit) -> unit
+(** Register a per-cycle committer (phase 3). *)
+
+val step : t -> unit
+(** Advance exactly one cycle. *)
+
+val run_until : t -> int -> unit
+(** Run cycles until [now t = time] (exclusive of the target cycle's
+    execution). *)
+
+val run_for : t -> int -> unit
+(** [run_for t n] executes [n] cycles. *)
+
+val stop : t -> unit
+(** Request that the enclosing [run_until]/[run_for] return at the end of
+    the current cycle. *)
+
+val stopped : t -> bool
+
+val pending_events : t -> int
+(** Number of scheduled future events (for tests). *)

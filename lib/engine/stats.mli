@@ -1,0 +1,76 @@
+(** Measurement primitives: counters, gauges, log-bucketed histograms and
+    windowed time series.
+
+    Histograms use logarithmic bucketing with linear sub-buckets (HdrHistogram
+    style) so percentiles over latencies spanning several orders of magnitude
+    stay within ~3% relative error at O(1) memory. *)
+
+(** Monotonic event counter. *)
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Last-value gauge with min/max tracking. *)
+module Gauge : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val set : t -> float -> unit
+  val value : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** Log-bucketed histogram of non-negative integer samples. *)
+module Histogram : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val record : t -> int -> unit
+  (** Record one sample; negative samples are clamped to 0. *)
+
+  val record_n : t -> int -> int -> unit
+  (** [record_n h v n] records [v] with weight [n]. *)
+
+  val count : t -> int
+  val sum : t -> int
+  val mean : t -> float
+  val max_value : t -> int
+  val min_value : t -> int
+  (** Smallest recorded sample ([max_int] when empty). *)
+
+  val percentile : t -> float -> int
+  (** [percentile h p] for [p] in [\[0,100\]]. Returns 0 when empty. *)
+
+  val stddev : t -> float
+  val reset : t -> unit
+
+  val merge_into : src:t -> dst:t -> unit
+  (** Add all of [src]'s buckets into [dst]. *)
+
+  val pp_summary : Format.formatter -> t -> unit
+  (** One-line [name count mean p50 p90 p99 max] summary. *)
+end
+
+(** Fixed-interval time series, e.g. throughput per epoch. *)
+module Series : sig
+  type t
+
+  val create : string -> interval:int -> t
+  (** [interval] is the bucket width in simulator cycles. *)
+
+  val record : t -> now:int -> float -> unit
+  (** Accumulate a value into the bucket covering cycle [now]. *)
+
+  val buckets : t -> (int * float) list
+  (** [(bucket_start_cycle, accumulated)] pairs, oldest first. *)
+end

@@ -1,0 +1,66 @@
+module Checksum = Apiary_engine.Checksum
+
+type t = { dst : int; src : int; ethertype : int; payload : bytes }
+
+let ethertype_apiary = 0x88B5
+let min_payload = 46
+let max_payload = 1500
+
+let make ~dst ~src ?(ethertype = ethertype_apiary) payload =
+  if Bytes.length payload > max_payload then
+    invalid_arg "Frame.make: payload exceeds MTU";
+  { dst; src; ethertype; payload }
+
+(* preamble(8) + IPG(12) = 20 bytes of line overhead per frame. *)
+let line_overhead = 20
+
+let wire_size t =
+  14 + 2 + max min_payload (Bytes.length t.payload) + 4 + line_overhead
+
+let put48 b off v =
+  for i = 0 to 5 do
+    Bytes.set b (off + i) (Char.chr ((v lsr ((5 - i) * 8)) land 0xFF))
+  done
+
+let get48 b off =
+  let v = ref 0 in
+  for i = 0 to 5 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+let serialize t =
+  let plen = Bytes.length t.payload in
+  let padded = max min_payload plen in
+  let body = Bytes.make (16 + padded) '\000' in
+  put48 body 0 t.dst;
+  put48 body 6 t.src;
+  Bytes.set_uint16_be body 12 t.ethertype;
+  Bytes.set_uint16_be body 14 plen;
+  Bytes.blit t.payload 0 body 16 plen;
+  let fcs = Checksum.crc32 body in
+  let out = Bytes.create (Bytes.length body + 4) in
+  Bytes.blit body 0 out 0 (Bytes.length body);
+  Bytes.set_int32_be out (Bytes.length body) fcs;
+  out
+
+let parse raw =
+  let n = Bytes.length raw in
+  if n < 16 + min_payload + 4 then Error "frame: runt"
+  else begin
+    let body = Bytes.sub raw 0 (n - 4) in
+    let fcs = Bytes.get_int32_be raw (n - 4) in
+    if Checksum.crc32 body <> fcs then Error "frame: bad FCS"
+    else begin
+      let plen = Bytes.get_uint16_be body 14 in
+      if 16 + max min_payload plen <> n - 4 then Error "frame: bad length field"
+      else
+        Ok
+          {
+            dst = get48 body 0;
+            src = get48 body 6;
+            ethertype = Bytes.get_uint16_be body 12;
+            payload = Bytes.sub body 16 plen;
+          }
+    end
+  end

@@ -1,0 +1,36 @@
+(** Ethernet frames with a real FCS.
+
+    Frames serialize to actual bytes with an IEEE CRC-32 trailer;
+    {!parse} recomputes and rejects corrupted frames, so bit-flips
+    injected anywhere in the network substrate are caught exactly where
+    real hardware would catch them. *)
+
+type t = {
+  dst : int;  (** 48-bit MAC address *)
+  src : int;
+  ethertype : int;
+  payload : bytes;
+}
+
+val ethertype_apiary : int
+(** 0x88B5 — the IEEE "local experimental" ethertype, used for the RPC
+    envelope. *)
+
+val min_payload : int
+(** 46 bytes — shorter payloads are padded on the wire, as per 802.3. *)
+
+val max_payload : int
+(** 1500 bytes. *)
+
+val make : dst:int -> src:int -> ?ethertype:int -> bytes -> t
+(** @raise Invalid_argument if the payload exceeds {!max_payload}. *)
+
+val wire_size : t -> int
+(** Full on-wire size: header (14) + padded payload + FCS (4) + preamble
+    and IPG accounting (20), matching line-rate math. *)
+
+val serialize : t -> bytes
+(** dst(6) src(6) ethertype(2) length(2) payload (padded to 46) FCS(4). *)
+
+val parse : bytes -> (t, string) result
+(** Inverse of {!serialize}; validates the FCS and the length field. *)

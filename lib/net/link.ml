@@ -1,0 +1,73 @@
+module Sim = Apiary_engine.Sim
+
+type side = A | B
+
+let flip = function A -> B | B -> A
+
+type dir = {
+  mutable busy_until : int;
+  mutable corrupt_next : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  bw : float;
+  prop : int;
+  a : dir;
+  b : dir;
+  mutable rx_a : Frame.t -> unit;
+  mutable rx_b : Frame.t -> unit;
+  mutable bytes : int;
+  mutable dropped : int;
+}
+
+let create sim ~bytes_per_cycle ~prop_cycles =
+  assert (bytes_per_cycle > 0.0 && prop_cycles >= 0);
+  {
+    sim;
+    bw = bytes_per_cycle;
+    prop = prop_cycles;
+    a = { busy_until = 0; corrupt_next = false };
+    b = { busy_until = 0; corrupt_next = false };
+    rx_a = (fun _ -> ());
+    rx_b = (fun _ -> ());
+    bytes = 0;
+    dropped = 0;
+  }
+
+let dir_of t = function A -> t.a | B -> t.b
+
+let on_recv t side f =
+  match side with A -> t.rx_a <- f | B -> t.rx_b <- f
+
+let busy_until t side = (dir_of t side).busy_until
+let set_corrupt_next t ~from = (dir_of t from).corrupt_next <- true
+let bytes_carried t = t.bytes
+let frames_dropped t = t.dropped
+
+let send t ~from frame =
+  let d = dir_of t from in
+  let wire = Frame.serialize frame in
+  let wire =
+    if d.corrupt_next then begin
+      d.corrupt_next <- false;
+      let w = Bytes.copy wire in
+      (* Flip one payload bit. *)
+      let pos = 16 in
+      Bytes.set w pos (Char.chr (Char.code (Bytes.get w pos) lxor 0x01));
+      w
+    end
+    else wire
+  in
+  let size = Frame.wire_size frame in
+  let now = Sim.now t.sim in
+  let start = max now d.busy_until in
+  let ser = max 1 (int_of_float (ceil (float_of_int size /. t.bw))) in
+  d.busy_until <- start + ser;
+  t.bytes <- t.bytes + size;
+  let deliver_at = start + ser + t.prop in
+  let rx = match from with A -> (fun f -> t.rx_b f) | B -> (fun f -> t.rx_a f) in
+  Sim.after t.sim (deliver_at - now) (fun () ->
+      match Frame.parse wire with
+      | Ok f -> rx f
+      | Error _ -> t.dropped <- t.dropped + 1)

@@ -1,0 +1,26 @@
+(** RPC envelope carried in Apiary ethertype frames — the reliable
+    request/response transport between datacenter clients and
+    direct-attached FPGA services.
+
+    Requests name the target service (API-level naming extends all the
+    way to the network); responses echo the request id. *)
+
+type request = {
+  req_id : int;
+  service : string;
+  op : int;  (** Apiary data opcode forwarded to the service. *)
+  body : bytes;
+}
+
+type status = Ok_resp | Service_unavailable | Remote_error
+
+type response = { rsp_id : int; status : status; body : bytes }
+
+val encode_request : request -> bytes
+val decode_request : bytes -> (request, string) result
+val encode_response : response -> bytes
+val decode_response : bytes -> (response, string) result
+
+val max_body : int
+(** Maximum body carried in a single frame (no fragmentation in this
+    model); callers must keep requests under it. *)

@@ -1,0 +1,41 @@
+module Shell := Apiary_core.Shell
+
+(** The network OS service — the tile that owns the MAC and bridges
+    datacenter RPC onto the NoC (paper Figure 1's "network" service).
+
+    Inbound request frames are parsed, the target service is resolved by
+    name and connected to lazily (connections are cached), the body is
+    forwarded as an Apiary request, and the reply is framed back to the
+    requester's MAC. Because the tile speaks the portable {!Mac} adapter,
+    the same behavior runs over a 10G or a 100G core — the paper's
+    portability claim made concrete. *)
+
+type stats = {
+  mutable rx_frames : int;
+  mutable tx_frames : int;
+  mutable bad_frames : int;
+  mutable unavailable : int;  (** requests for unknown/dead services *)
+  mutable outbound : int;  (** accelerator-initiated remote calls *)
+}
+
+val behavior : mac:Mac.t -> my_mac:int -> unit -> Shell.behavior * stats
+(** Install on a tile with [Kernel.install]. The behavior registers the
+    service name ["net"]. *)
+
+(** {1 Outbound calls (paper §1: "Calls to other modules may be local or
+    remote"; §6-Q3: using remote CPUs for OS functionality)}
+
+    An accelerator connects to the ["net"] service like any other and
+    issues {!remote_request}; the network tile frames the call to the
+    target MAC, matches the response and relays it back — so reaching a
+    service on a {e remote host} looks exactly like reaching one on the
+    next tile, just slower. *)
+
+val op_remote : int
+(** Data opcode carrying an outbound call to the net service. *)
+
+val remote_request :
+  Shell.t -> Shell.conn -> dst_mac:int -> service:string -> op:int -> bytes ->
+  ((Netproto.response, Shell.rpc_error) result -> unit) -> unit
+(** [remote_request sh net_conn ~dst_mac ~service ~op body k] — call
+    [service] on the host at [dst_mac] through the network tile. *)

@@ -1,0 +1,49 @@
+module Sim = Apiary_engine.Sim
+
+type port = { link : Link.t; side : Link.side }
+
+type t = {
+  sim : Sim.t;
+  latency : int;
+  ports : port option array;
+  fdb : (int, int) Hashtbl.t;  (* MAC -> port *)
+  mutable forwarded : int;
+  mutable flooded : int;
+}
+
+let create sim ~nports ~latency =
+  assert (nports > 0 && latency >= 0);
+  {
+    sim;
+    latency;
+    ports = Array.make nports None;
+    fdb = Hashtbl.create 32;
+    forwarded = 0;
+    flooded = 0;
+  }
+
+let transmit t pi frame =
+  match t.ports.(pi) with
+  | None -> ()
+  | Some p -> Link.send p.link ~from:p.side frame
+
+let forward t in_port (frame : Frame.t) =
+  Hashtbl.replace t.fdb frame.Frame.src in_port;
+  Sim.after t.sim t.latency (fun () ->
+      match Hashtbl.find_opt t.fdb frame.Frame.dst with
+      | Some pi when pi <> in_port ->
+        t.forwarded <- t.forwarded + 1;
+        transmit t pi frame
+      | Some _ -> ()  (* destination is behind the ingress port: drop *)
+      | None ->
+        t.flooded <- t.flooded + 1;
+        Array.iteri (fun pi p -> if pi <> in_port && p <> None then transmit t pi frame) t.ports)
+
+let attach t ~port link side =
+  assert (t.ports.(port) = None);
+  t.ports.(port) <- Some { link; side };
+  Link.on_recv link side (fun f -> forward t port f)
+
+let frames_forwarded t = t.forwarded
+let frames_flooded t = t.flooded
+let table_size t = Hashtbl.length t.fdb

@@ -1,0 +1,20 @@
+(** Learning store-and-forward switch (top-of-rack model).
+
+    MAC addresses are learned from source fields; unknown destinations
+    flood. Forwarding adds a fixed store-and-forward latency; egress
+    serialization is enforced by the attached links. *)
+
+module Sim := Apiary_engine.Sim
+
+type t
+
+val create : Sim.t -> nports:int -> latency:int -> t
+(** [latency] in cycles (≈250 for a 1 µs ToR at 250 MHz). *)
+
+val attach : t -> port:int -> Link.t -> Link.side -> unit
+(** Plug a link into a port; the switch receives frames arriving at the
+    given [side] of the link and transmits from that side. *)
+
+val frames_forwarded : t -> int
+val frames_flooded : t -> int
+val table_size : t -> int

@@ -1,0 +1,10 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+let equal a b = a.x = b.x && a.y = b.y
+let compare a b = Stdlib.compare (a.y, a.x) (b.y, b.x)
+let hops a b = abs (a.x - b.x) + abs (a.y - b.y)
+let to_index ~cols c = (c.y * cols) + c.x
+let of_index ~cols i = { x = i mod cols; y = i / cols }
+let to_string c = Printf.sprintf "(%d,%d)" c.x c.y
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,17 @@
+(** Tile coordinates on a 2D mesh. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hops : t -> t -> int
+(** Manhattan distance — the minimal hop count between two tiles. *)
+
+val to_index : cols:int -> t -> int
+(** Row-major linear index. *)
+
+val of_index : cols:int -> int -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

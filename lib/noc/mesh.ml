@@ -1,0 +1,146 @@
+module Sim = Apiary_engine.Sim
+module Stats = Apiary_engine.Stats
+
+type config = {
+  cols : int;
+  rows : int;
+  vcs : int;
+  depth : int;
+  flit_bytes : int;
+  routing : Routing.t;
+  qos : bool;
+}
+
+let default_config =
+  {
+    cols = 4;
+    rows = 4;
+    vcs = 2;
+    depth = 4;
+    flit_bytes = 16;
+    routing = Routing.Xy;
+    qos = false;
+  }
+
+type 'a t = {
+  sim : Sim.t;
+  cfg : config;
+  routers : 'a Router.t array;
+  nics : 'a Nic.t array;
+  rx_cbs : ('a Packet.t -> unit) array;
+  lat_all : Stats.Histogram.t;
+  lat_cls : Stats.Histogram.t array;
+  hops : Stats.Histogram.t;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let sim t = t.sim
+let config t = t.cfg
+let idx t (c : Coord.t) = Coord.to_index ~cols:t.cfg.cols c
+
+let in_bounds t (c : Coord.t) =
+  c.x >= 0 && c.x < t.cfg.cols && c.y >= 0 && c.y < t.cfg.rows
+
+let coords t =
+  List.init (t.cfg.cols * t.cfg.rows) (fun i -> Coord.of_index ~cols:t.cfg.cols i)
+
+let nic_at t c = t.nics.(idx t c)
+let router_at t c = t.routers.(idx t c)
+
+let send t ~src ~dst ?(cls = 0) ~payload_bytes payload =
+  assert (in_bounds t src && in_bounds t dst);
+  let size_flits = Packet.flits_for ~flit_bytes:t.cfg.flit_bytes ~payload_bytes in
+  let pkt =
+    Packet.make ~src ~dst ~cls ~size_flits ~payload ~now:(Sim.now t.sim)
+  in
+  t.sent <- t.sent + 1;
+  Nic.send (nic_at t src) pkt
+
+let set_receiver t c cb = t.rx_cbs.(idx t c) <- cb
+let latency t = t.lat_all
+
+let latency_of_class t cls =
+  let cls = if cls >= t.cfg.vcs then t.cfg.vcs - 1 else cls in
+  t.lat_cls.(cls)
+
+let hop_histogram t = t.hops
+let packets_sent t = t.sent
+let packets_delivered t = t.delivered
+let flits_routed t = Array.fold_left (fun a r -> a + Router.flits_routed r) 0 t.routers
+
+let tx_backlog t = Array.fold_left (fun a n -> a + Nic.tx_backlog n) 0 t.nics
+
+let neighbor t (c : Coord.t) (p : Port.t) : Coord.t option =
+  let c' =
+    match p with
+    | Port.North -> { c with Coord.y = c.y - 1 }
+    | Port.South -> { c with Coord.y = c.y + 1 }
+    | Port.East -> { c with Coord.x = c.x + 1 }
+    | Port.West -> { c with Coord.x = c.x - 1 }
+    | Port.Local -> c
+  in
+  if p <> Port.Local && in_bounds t c' then Some c' else None
+
+let wire t =
+  let link_dirs = [ Port.North; Port.East; Port.South; Port.West ] in
+  let wire_one c =
+    let r = router_at t c in
+    let wire_dir p =
+      match neighbor t c p with
+      | None -> ()
+      | Some nc ->
+        let nr = router_at t nc in
+        for v = 0 to t.cfg.vcs - 1 do
+          let dest = Router.input_chan nr (Port.opposite p) v in
+          Router.connect r ~port:p ~vc:v ~dest ~credits:t.cfg.depth;
+          dest.Router.on_pop <-
+            (fun () -> Sim.after t.sim 1 (fun () -> Router.credit r ~port:p ~vc:v))
+        done
+    in
+    List.iter wire_dir link_dirs
+  in
+  List.iter wire_one (coords t)
+
+let create sim cfg =
+  assert (cfg.cols >= 1 && cfg.rows >= 1);
+  assert (cfg.vcs >= 1 && cfg.depth >= 1 && cfg.flit_bytes >= 1);
+  let n = cfg.cols * cfg.rows in
+  let routers =
+    Array.init n (fun i ->
+        Router.create sim
+          ~coord:(Coord.of_index ~cols:cfg.cols i)
+          ~vcs:cfg.vcs ~depth:cfg.depth ~routing:cfg.routing ~qos:cfg.qos)
+  in
+  let nics =
+    Array.map (fun r -> Nic.create sim ~router:r ~depth:cfg.depth ~qos:cfg.qos) routers
+  in
+  let t =
+    {
+      sim;
+      cfg;
+      routers;
+      nics;
+      rx_cbs = Array.make n (fun _ -> ());
+      lat_all = Stats.Histogram.create "noc.latency";
+      lat_cls =
+        Array.init cfg.vcs (fun c -> Stats.Histogram.create (Printf.sprintf "noc.latency.c%d" c));
+      hops = Stats.Histogram.create "noc.hops";
+      sent = 0;
+      delivered = 0;
+    }
+  in
+  wire t;
+  (* Delivery hook: record stats, then hand to the tile's receiver. *)
+  Array.iteri
+    (fun i nic ->
+      Nic.set_rx nic (fun pkt ->
+          let lat = Sim.now sim - pkt.Packet.injected_at in
+          Stats.Histogram.record t.lat_all lat;
+          let cls = if pkt.Packet.cls >= cfg.vcs then cfg.vcs - 1 else pkt.Packet.cls in
+          Stats.Histogram.record t.lat_cls.(cls) lat;
+          Stats.Histogram.record t.hops (Packet.hops pkt);
+          t.delivered <- t.delivered + 1;
+          t.rx_cbs.(i) pkt))
+    nics;
+  t

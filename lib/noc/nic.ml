@@ -1,0 +1,122 @@
+module Sim = Apiary_engine.Sim
+module Fifo = Apiary_engine.Fifo
+
+type 'a inflight = { pkt : 'a Packet.t; mutable next_idx : int }
+
+type 'a t = {
+  router : 'a Router.t;
+  qos : bool;
+  tx : 'a Packet.t Queue.t array;  (* per class *)
+  cur : 'a inflight option array;  (* per class *)
+  eject : 'a Router.chan array;  (* per VC *)
+  mutable rx_cb : 'a Packet.t -> unit;
+  mutable injected : int;
+  mutable delivered : int;
+  mutable rr_cls : int;  (* fair rotation over classes when QoS is off *)
+}
+
+let coord t = Router.coord t.router
+
+let clamp t cls =
+  let v = Router.vcs t.router in
+  if cls >= v then v - 1 else if cls < 0 then 0 else cls
+
+let send t pkt = Queue.add pkt t.tx.(clamp t pkt.Packet.cls)
+
+let set_rx t cb = t.rx_cb <- cb
+
+let tx_backlog t =
+  let queued = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.tx in
+  let inflight =
+    Array.fold_left
+      (fun acc c -> match c with Some _ -> acc + 1 | None -> acc)
+      0 t.cur
+  in
+  queued + inflight
+
+let injected t = t.injected
+let delivered t = t.delivered
+
+(* Pick the class to inject from this cycle: highest class with work when
+   QoS is on, else round-robin over ready classes so no class starves the
+   injection port. *)
+let pick_class t =
+  let n = Array.length t.tx in
+  let ready c = t.cur.(c) <> None || not (Queue.is_empty t.tx.(c)) in
+  let order =
+    if t.qos then List.init n (fun i -> n - 1 - i)
+    else List.init n (fun i -> (t.rr_cls + i) mod n)
+  in
+  match List.find_opt ready order with
+  | None -> None
+  | Some c ->
+    if not t.qos then t.rr_cls <- (c + 1) mod n;
+    Some c
+
+let inject t =
+  match pick_class t with
+  | None -> ()
+  | Some c ->
+    let inf =
+      match t.cur.(c) with
+      | Some inf -> inf
+      | None ->
+        let pkt = Queue.take t.tx.(c) in
+        let inf = { pkt; next_idx = 0 } in
+        t.cur.(c) <- Some inf;
+        inf
+    in
+    let chan = Router.input_chan t.router Port.Local c in
+    let flit = { Packet.Flit.pkt = inf.pkt; idx = inf.next_idx } in
+    if Fifo.push chan.buf flit then begin
+      inf.next_idx <- inf.next_idx + 1;
+      if inf.next_idx >= inf.pkt.Packet.size_flits then begin
+        t.cur.(c) <- None;
+        t.injected <- t.injected + 1
+      end
+    end
+
+let eject t =
+  let deliver (f : 'a Packet.Flit.t) =
+    if Packet.Flit.is_tail f then begin
+      t.delivered <- t.delivered + 1;
+      t.rx_cb f.pkt
+    end
+  in
+  Array.iter
+    (fun chan -> match Router.chan_pop chan with None -> () | Some f -> deliver f)
+    t.eject
+
+let tick t =
+  inject t;
+  eject t
+
+let create sim ~router ~depth ~qos =
+  let vcs = Router.vcs router in
+  let c = Router.coord router in
+  let eject =
+    Array.init vcs (fun v ->
+        Router.make_chan sim ~depth (Printf.sprintf "nic%s.ej.%d" (Coord.to_string c) v))
+  in
+  let t =
+    {
+      router;
+      qos;
+      tx = Array.init vcs (fun _ -> Queue.create ());
+      cur = Array.make vcs None;
+      eject;
+      rx_cb = (fun _ -> ());
+      injected = 0;
+      delivered = 0;
+      rr_cls = 0;
+    }
+  in
+  (* Wire the router's Local outputs to our ejection buffers, with credit
+     return on drain. *)
+  Array.iteri
+    (fun v chan ->
+      Router.connect router ~port:Port.Local ~vc:v ~dest:chan ~credits:depth;
+      chan.Router.on_pop <- (fun () -> Sim.after sim 1 (fun () -> Router.credit router ~port:Port.Local ~vc:v)))
+    eject;
+  Sim.add_ticker sim (fun () -> tick t);
+  t

@@ -1,0 +1,36 @@
+(** Network interface between a tile and its router's [Local] port.
+
+    Transmit side: per-class unbounded packet queues (the OS layer above is
+    responsible for policing; see the Apiary monitor). One flit is injected
+    per cycle; the highest class with pending work wins when QoS is enabled,
+    and packets within a class are injected contiguously so wormhole
+    ordering holds per VC.
+
+    Receive side: one flit per VC is drained from the ejection buffers each
+    cycle; when a tail flit arrives, the full packet is delivered to the
+    receive callback. *)
+
+module Sim := Apiary_engine.Sim
+
+type 'a t
+
+val create : Sim.t -> router:'a Router.t -> depth:int -> qos:bool -> 'a t
+(** Create a NIC, wire it to [router]'s [Local] port and register its tick.
+    [depth] is the ejection buffer depth per VC. *)
+
+val coord : 'a t -> Coord.t
+
+val send : 'a t -> 'a Packet.t -> unit
+(** Enqueue a packet for injection. *)
+
+val set_rx : 'a t -> ('a Packet.t -> unit) -> unit
+(** Set the delivery callback (replaces any previous one). *)
+
+val tx_backlog : 'a t -> int
+(** Packets queued or in flight on the transmit side. *)
+
+val injected : 'a t -> int
+(** Packets fully injected so far. *)
+
+val delivered : 'a t -> int
+(** Packets delivered to the receive callback so far. *)

@@ -1,0 +1,33 @@
+type 'a t = {
+  id : int;
+  src : Coord.t;
+  dst : Coord.t;
+  cls : int;
+  size_flits : int;
+  payload : 'a;
+  injected_at : int;
+}
+
+let next_id = ref 0
+
+let make ~src ~dst ~cls ~size_flits ~payload ~now =
+  assert (size_flits >= 1);
+  assert (cls >= 0);
+  incr next_id;
+  { id = !next_id; src; dst; cls; size_flits; payload; injected_at = now }
+
+let flits_for ~flit_bytes ~payload_bytes =
+  assert (flit_bytes > 0);
+  assert (payload_bytes >= 0);
+  (* The head flit carries the header; payload bytes ride in body flits. *)
+  1 + ((payload_bytes + flit_bytes - 1) / flit_bytes)
+
+let hops p = Coord.hops p.src p.dst
+
+module Flit = struct
+  type 'a packet = 'a t
+  type 'a t = { pkt : 'a packet; idx : int }
+
+  let is_head f = f.idx = 0
+  let is_tail f = f.idx = f.pkt.size_flits - 1
+end

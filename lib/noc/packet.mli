@@ -1,0 +1,46 @@
+(** NoC packets and flits.
+
+    A packet is the unit of end-to-end transfer; it is carried as a train of
+    flits (head + payload flits) that hold a wormhole path through the mesh.
+    The payload is an opaque value of type ['a] — the NoC layer never
+    inspects it, which keeps this library independent of the OS layer that
+    rides on it.  Flit accounting uses the byte size reported at creation
+    time so bandwidth and serialization latency are modelled faithfully. *)
+
+type 'a t = private {
+  id : int;  (** Globally unique packet id. *)
+  src : Coord.t;
+  dst : Coord.t;
+  cls : int;  (** Virtual-channel / QoS class; [0] is best-effort. *)
+  size_flits : int;  (** Total flits including the head flit. *)
+  payload : 'a;
+  injected_at : int;  (** Cycle the packet entered the source NIC. *)
+}
+
+val make :
+  src:Coord.t ->
+  dst:Coord.t ->
+  cls:int ->
+  size_flits:int ->
+  payload:'a ->
+  now:int ->
+  'a t
+(** Create a packet; [size_flits >= 1]. Ids are drawn from a global
+    counter. *)
+
+val flits_for : flit_bytes:int -> payload_bytes:int -> int
+(** Number of flits needed for a payload of the given size: one head flit
+    (carrying routing info and the first bytes) plus as many body flits as
+    required. Always at least 1. *)
+
+val hops : 'a t -> int
+(** Manhattan source→destination distance. *)
+
+(** A flit is a slice of a packet in flight. *)
+module Flit : sig
+  type 'a packet := 'a t
+  type 'a t = { pkt : 'a packet; idx : int }
+
+  val is_head : 'a t -> bool
+  val is_tail : 'a t -> bool
+end

@@ -1,0 +1,22 @@
+type t = Local | North | East | South | West
+
+let all = [ Local; North; East; South; West ]
+
+let opposite = function
+  | Local -> Local
+  | North -> South
+  | South -> North
+  | East -> West
+  | West -> East
+
+let index = function Local -> 0 | North -> 1 | East -> 2 | South -> 3 | West -> 4
+let count = 5
+
+let to_string = function
+  | Local -> "local"
+  | North -> "north"
+  | East -> "east"
+  | South -> "south"
+  | West -> "west"
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

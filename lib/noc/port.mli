@@ -1,0 +1,18 @@
+(** Router port directions for a 2D mesh. *)
+
+type t = Local | North | East | South | West
+
+val all : t list
+(** All five ports, [Local] first. *)
+
+val opposite : t -> t
+(** Mirror direction; [opposite Local = Local]. *)
+
+val index : t -> int
+(** Dense index in [\[0,4\]], suitable for array indexing. *)
+
+val count : int
+(** Number of ports (5). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,164 @@
+module Fifo = Apiary_engine.Fifo
+module Sim = Apiary_engine.Sim
+
+type 'a chan = {
+  buf : 'a Packet.Flit.t Fifo.t;
+  mutable on_pop : unit -> unit;
+}
+
+let make_chan sim ~depth name =
+  { buf = Fifo.create sim ~capacity:depth name; on_pop = (fun () -> ()) }
+
+let chan_pop c =
+  match Fifo.pop c.buf with
+  | None -> None
+  | Some f ->
+    c.on_pop ();
+    Some f
+
+type 'a output = {
+  mutable dest : 'a chan option;
+  mutable credits : int;
+  mutable owner : (int * int) option;  (* (input port index, vc) mid-packet *)
+}
+
+type 'a t = {
+  coord : Coord.t;
+  vcs : int;
+  routing : Routing.t;
+  qos : bool;
+  inputs : 'a chan array array;  (* [port][vc] *)
+  outputs : 'a output array array;  (* [port][vc] *)
+  alloc : (int * int) option array array;
+      (* per input [port][vc]: allocated (output port index, vc) *)
+  rr : int array;  (* rotating arbitration pointer per output port *)
+  port_used : bool array;  (* input port crossbar slot used this cycle *)
+  mutable flits_routed : int;
+  mutable busy_cycles : int;
+}
+
+let coord t = t.coord
+let vcs t = t.vcs
+let input_chan t p v = t.inputs.(Port.index p).(v)
+
+let connect t ~port ~vc ~dest ~credits =
+  let o = t.outputs.(Port.index port).(vc) in
+  o.dest <- Some dest;
+  o.credits <- credits
+
+let credit t ~port ~vc =
+  let o = t.outputs.(Port.index port).(vc) in
+  o.credits <- o.credits + 1
+
+let flits_routed t = t.flits_routed
+let busy_cycles t = t.busy_cycles
+
+let clamp_cls t cls = if cls >= t.vcs then t.vcs - 1 else if cls < 0 then 0 else cls
+
+(* Find the input (port, vc) that should win output port [op] this cycle.
+   Returns (input port index, vc, output vc, flit). *)
+let arbitrate t op =
+  let op_i = Port.index op in
+  let nslots = Port.count * t.vcs in
+  let best = ref None in
+  let best_key = ref min_int in
+  let consider slot =
+    let p = slot / t.vcs and v = slot mod t.vcs in
+    if not t.port_used.(p) then begin
+      match Fifo.peek t.inputs.(p).(v).buf with
+      | None -> ()
+      | Some flit ->
+        let candidate_ov =
+          match t.alloc.(p).(v) with
+          | Some (op', ov) -> if op' = op_i && t.outputs.(op_i).(ov).credits > 0 then Some ov else None
+          | None ->
+            if Packet.Flit.is_head flit then begin
+              let want = Routing.next_port t.routing ~at:t.coord ~dst:flit.pkt.dst in
+              if want = op then begin
+                let ov = clamp_cls t flit.pkt.cls in
+                let o = t.outputs.(op_i).(ov) in
+                if o.owner = None && o.credits > 0 && o.dest <> None then Some ov
+                else None
+              end
+              else None
+            end
+            else None
+        in
+        match candidate_ov with
+        | None -> ()
+        | Some ov ->
+          (* Priority key: class when QoS is on, then rotating order. *)
+          let rot = (slot - t.rr.(op_i) + nslots) mod nslots in
+          let key = if t.qos then (flit.pkt.cls * nslots * 2) - rot else -rot in
+          if !best = None || key > !best_key then begin
+            best := Some (p, v, ov, flit);
+            best_key := key
+          end
+    end
+  in
+  for slot = 0 to nslots - 1 do
+    consider slot
+  done;
+  !best
+
+let route_one t op =
+  match arbitrate t op with
+  | None -> false
+  | Some (p, v, ov, flit) ->
+    let op_i = Port.index op in
+    let o = t.outputs.(op_i).(ov) in
+    let popped = chan_pop t.inputs.(p).(v) in
+    assert (popped <> None);
+    if Packet.Flit.is_head flit then begin
+      t.alloc.(p).(v) <- Some (op_i, ov);
+      o.owner <- Some (p, v)
+    end;
+    (match o.dest with
+    | Some d -> Fifo.push_exn d.buf flit
+    | None -> assert false);
+    o.credits <- o.credits - 1;
+    if Packet.Flit.is_tail flit then begin
+      t.alloc.(p).(v) <- None;
+      o.owner <- None
+    end;
+    t.port_used.(p) <- true;
+    t.rr.(op_i) <- ((p * t.vcs) + v + 1) mod (Port.count * t.vcs);
+    t.flits_routed <- t.flits_routed + 1;
+    true
+
+let tick t =
+  Array.fill t.port_used 0 Port.count false;
+  let moved = ref false in
+  let do_port op = if route_one t op then moved := true in
+  List.iter do_port Port.all;
+  if !moved then t.busy_cycles <- t.busy_cycles + 1
+
+let create sim ~coord ~vcs ~depth ~routing ~qos =
+  assert (vcs >= 1);
+  assert (depth >= 1);
+  let mk_inputs p =
+    Array.init vcs (fun v ->
+        make_chan sim ~depth
+          (Printf.sprintf "r%s.in.%s.%d" (Coord.to_string coord)
+             (Port.to_string (List.nth Port.all p))
+             v))
+  in
+  let t =
+    {
+      coord;
+      vcs;
+      routing;
+      qos;
+      inputs = Array.init Port.count mk_inputs;
+      outputs =
+        Array.init Port.count (fun _ ->
+            Array.init vcs (fun _ -> { dest = None; credits = 0; owner = None }));
+      alloc = Array.init Port.count (fun _ -> Array.make vcs None);
+      rr = Array.make Port.count 0;
+      port_used = Array.make Port.count false;
+      flits_routed = 0;
+      busy_cycles = 0;
+    }
+  in
+  Sim.add_ticker sim (fun () -> tick t);
+  t

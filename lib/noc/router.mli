@@ -1,0 +1,63 @@
+(** Single-cycle wormhole router with virtual channels and credit-based
+    flow control.
+
+    Each of the five ports has [vcs] virtual channels; VC index equals the
+    packet's QoS class (clamped), so classes never share buffers. A head
+    flit allocates an output VC and the packet holds it until its tail flit
+    passes (wormhole switching). Per cycle the router moves at most one flit
+    per output port and one flit per input port; arbitration is rotating
+    round-robin, or strict class priority when QoS mode is on.
+
+    Credits track downstream buffer space: a flit is only forwarded when the
+    destination buffer is guaranteed to accept it, and a credit returns to
+    the upstream router one cycle after the downstream buffer is drained —
+    the standard credit-based scheme, so buffers can never overflow. *)
+
+module Fifo := Apiary_engine.Fifo
+module Sim := Apiary_engine.Sim
+
+(** A buffered flit channel: a router input buffer or a NIC ejection
+    buffer. [on_pop] is invoked each time a flit is drained, and is wired
+    by {!Mesh} to return a credit upstream. *)
+type 'a chan = {
+  buf : 'a Packet.Flit.t Fifo.t;
+  mutable on_pop : unit -> unit;
+}
+
+val make_chan : Sim.t -> depth:int -> string -> 'a chan
+(** Create a free-standing channel (used for NIC ejection buffers). *)
+
+val chan_pop : 'a chan -> 'a Packet.Flit.t option
+(** Drain one flit and fire the credit-return hook. *)
+
+type 'a t
+
+val create :
+  Sim.t ->
+  coord:Coord.t ->
+  vcs:int ->
+  depth:int ->
+  routing:Routing.t ->
+  qos:bool ->
+  'a t
+(** Create a router and register its per-cycle tick with the simulator. *)
+
+val coord : 'a t -> Coord.t
+val vcs : 'a t -> int
+
+val input_chan : 'a t -> Port.t -> int -> 'a chan
+(** The input buffer for ([port], [vc]) — neighbours and NICs push into
+    it (respecting its capacity, which credits guarantee). *)
+
+val connect : 'a t -> port:Port.t -> vc:int -> dest:'a chan -> credits:int -> unit
+(** Wire the output ([port], [vc]) to a downstream channel with an initial
+    credit allowance equal to that channel's buffer depth. *)
+
+val credit : 'a t -> port:Port.t -> vc:int -> unit
+(** Return one credit to output ([port], [vc]). *)
+
+val flits_routed : 'a t -> int
+(** Total flits forwarded since creation (switch activity). *)
+
+val busy_cycles : 'a t -> int
+(** Cycles in which at least one flit was forwarded. *)

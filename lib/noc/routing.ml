@@ -1,0 +1,21 @@
+type t = Xy | Yx
+
+let step_x (at : Coord.t) (dst : Coord.t) =
+  if dst.x > at.x then Some Port.East
+  else if dst.x < at.x then Some Port.West
+  else None
+
+let step_y (at : Coord.t) (dst : Coord.t) =
+  if dst.y > at.y then Some Port.South
+  else if dst.y < at.y then Some Port.North
+  else None
+
+let next_port t ~at ~dst =
+  let first, second =
+    match t with Xy -> (step_x, step_y) | Yx -> (step_y, step_x)
+  in
+  match first at dst with
+  | Some p -> p
+  | None -> ( match second at dst with Some p -> p | None -> Port.Local)
+
+let to_string = function Xy -> "xy" | Yx -> "yx"

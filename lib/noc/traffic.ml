@@ -1,0 +1,65 @@
+module Rng = Apiary_engine.Rng
+module Sim = Apiary_engine.Sim
+
+type pattern =
+  | Uniform
+  | Hotspot of Coord.t * float
+  | Transpose
+  | Bit_complement
+  | Neighbor
+
+let pattern_to_string = function
+  | Uniform -> "uniform"
+  | Hotspot (c, f) -> Printf.sprintf "hotspot%s@%.2f" (Coord.to_string c) f
+  | Transpose -> "transpose"
+  | Bit_complement -> "bit-complement"
+  | Neighbor -> "neighbor"
+
+let uniform_dst rng ~cols ~rows ~(src : Coord.t) =
+  let n = cols * rows in
+  let rec draw () =
+    let i = Rng.int rng n in
+    let c = Coord.of_index ~cols i in
+    if Coord.equal c src then draw () else c
+  in
+  if n <= 1 then src else draw ()
+
+let destination rng pattern ~cols ~rows ~(src : Coord.t) =
+  match pattern with
+  | Uniform -> uniform_dst rng ~cols ~rows ~src
+  | Hotspot (hot, frac) ->
+    if (not (Coord.equal src hot)) && Rng.chance rng frac then hot
+    else uniform_dst rng ~cols ~rows ~src
+  | Transpose ->
+    let c = Coord.make (src.y mod cols) (src.x mod rows) in
+    c
+  | Bit_complement -> Coord.make (cols - 1 - src.x) (rows - 1 - src.y)
+  | Neighbor -> Coord.make ((src.x + 1) mod cols) src.y
+
+type gen = { mutable running : bool; mutable offered : int }
+
+let start mesh ~rng ~pattern ~rate ~payload_bytes ?(cls = 0) ~payload () =
+  assert (rate >= 0.0 && rate <= 1.0);
+  let g = { running = true; offered = 0 } in
+  let cfg = Mesh.config mesh in
+  let tiles = Array.of_list (Mesh.coords mesh) in
+  let tick () =
+    if g.running then
+      Array.iter
+        (fun src ->
+          if Rng.chance rng rate then begin
+            let dst =
+              destination rng pattern ~cols:cfg.Mesh.cols ~rows:cfg.Mesh.rows ~src
+            in
+            if not (Coord.equal dst src) then begin
+              g.offered <- g.offered + 1;
+              Mesh.send mesh ~src ~dst ~cls ~payload_bytes payload
+            end
+          end)
+        tiles
+  in
+  Sim.add_ticker (Mesh.sim mesh) tick;
+  g
+
+let stop_gen g = g.running <- false
+let offered g = g.offered

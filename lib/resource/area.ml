@@ -1,0 +1,62 @@
+type footprint = { luts : int; ffs : int; bram_kb : int }
+
+let add a b =
+  { luts = a.luts + b.luts; ffs = a.ffs + b.ffs; bram_kb = a.bram_kb + b.bram_kb }
+
+let scale k f = { luts = k * f.luts; ffs = k * f.ffs; bram_kb = k * f.bram_kb }
+
+let pp ppf f =
+  Format.fprintf ppf "%d LUT / %d FF / %d Kb BRAM" f.luts f.ffs f.bram_kb
+
+type noc_params = { vcs : int; depth : int; flit_bits : int }
+
+let ports = 5
+
+(* Input buffers: LUTRAM costs ~1 LUT per 2 bits of a 32-deep memory; a
+   [depth]-deep, [flit_bits]-wide FIFO per VC per port. Crossbar: a
+   [ports]-to-1 mux per output bit (~ports/2 LUTs per bit). Allocation:
+   round-robin arbiter + VC state per port. *)
+let router p =
+  let buffer_luts = ports * p.vcs * ((p.depth * p.flit_bits / 64) + (p.flit_bits / 2)) in
+  let xbar_luts = ports * p.flit_bits * (ports / 2) in
+  let alloc_luts = ports * ((40 * p.vcs) + 60) in
+  let luts = buffer_luts + xbar_luts + alloc_luts in
+  let ffs = (ports * p.vcs * p.flit_bits) + (ports * 50) in
+  { luts; ffs; bram_kb = 0 }
+
+(* Monitor: the capability table lives in BRAM (72 bits/entry) with a
+   comparator pipeline; the service table is small CAM-ish logic;
+   the token bucket is one accumulator + compare; protocol FSMs and the
+   bounds-check datapath round it out. *)
+let monitor ~cap_entries ~service_entries ~egress_depth ~flit_bits =
+  let cap_kb = cap_entries * 72 / 1024 in
+  let cap_logic = 220 + (cap_entries / 8) in
+  let svc_logic = 40 * service_entries in
+  let bucket = 90 in
+  let bounds_check = 180 in
+  let fsm = 350 in
+  let egress = (egress_depth * flit_bits / 64) + (flit_bits / 2) in
+  {
+    luts = cap_logic + svc_logic + bucket + bounds_check + fsm + egress;
+    ffs = 400 + (cap_entries / 16 * 8) + (flit_bits * 2);
+    bram_kb = max 1 cap_kb;
+  }
+
+let shell ~rpc_entries ~flit_bits =
+  let queues = 2 * ((16 * flit_bits / 64) + (flit_bits / 2)) in
+  let rpc = 60 + (rpc_entries * 6) in
+  let windows = 80 in
+  { luts = queues + rpc + windows + 150; ffs = 300 + flit_bits; bram_kb = 1 }
+
+let static_region =
+  (* PR controller ~1.2k, DDR controller ~12k, 100G MAC ~8k, boot ~1k. *)
+  { luts = 22_200; ffs = 30_000; bram_kb = 2_000 }
+
+let per_tile p ~cap_entries =
+  add (router p)
+    (add
+       (monitor ~cap_entries ~service_entries:8 ~egress_depth:64
+          ~flit_bits:p.flit_bits)
+       (shell ~rpc_entries:32 ~flit_bits:p.flit_bits))
+
+let logic_cells f = int_of_float (float_of_int f.luts *. 1.6)

@@ -1,0 +1,38 @@
+(** Analytical LUT/FF/BRAM area model for Apiary's hardware components —
+    the instrument for the paper's central open question (§6-Q1): "What
+    is the overhead of the per-tile monitor?"
+
+    Formulas follow standard FPGA NoC costing: input buffers in LUTRAM
+    (dominant, linear in VCs × depth × flit width), a crossbar quadratic
+    in ports, and per-port allocators. Constants are calibrated so a
+    5-port 2-VC depth-4 32-bit router lands near published soft-router
+    numbers (~1.5 k LUTs) and scale from there. The monitor is costed
+    from its microarchitecture: capability table (BRAM + match logic),
+    service table, token bucket, RPC tracker and protocol FSMs. *)
+
+type footprint = { luts : int; ffs : int; bram_kb : int }
+
+val add : footprint -> footprint -> footprint
+val scale : int -> footprint -> footprint
+val pp : Format.formatter -> footprint -> unit
+
+type noc_params = { vcs : int; depth : int; flit_bits : int }
+
+val router : noc_params -> footprint
+
+val monitor : cap_entries:int -> service_entries:int -> egress_depth:int ->
+  flit_bits:int -> footprint
+
+val shell : rpc_entries:int -> flit_bits:int -> footprint
+(** RX/TX queues, correlation tracker, reply windows. *)
+
+val static_region : footprint
+(** Boot/PR controller, DRAM controller, MAC — Apiary's static area,
+    independent of tile count. *)
+
+val per_tile : noc_params -> cap_entries:int -> footprint
+(** router + monitor + shell with default table sizes. *)
+
+val logic_cells : footprint -> int
+(** LUTs × 1.6 (Xilinx marketing conversion), to compare against part
+    capacities. *)

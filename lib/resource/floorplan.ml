@@ -1,0 +1,40 @@
+type plan = {
+  part : Parts.t;
+  tiles : int;
+  os_logic_cells : int;
+  slot_logic_cells : int;
+  overhead_frac : float;
+}
+
+let plan ~part ~tiles ~noc ~cap_entries =
+  assert (tiles >= 1);
+  let per_tile = Area.per_tile noc ~cap_entries in
+  let os_cells =
+    Area.logic_cells (Area.add Area.static_region (Area.scale tiles per_tile))
+  in
+  let budget = part.Parts.logic_cells - os_cells in
+  if budget <= 0 then None
+  else
+    Some
+      {
+        part;
+        tiles;
+        os_logic_cells = os_cells;
+        slot_logic_cells = budget / tiles;
+        overhead_frac = float_of_int os_cells /. float_of_int part.Parts.logic_cells;
+      }
+
+let max_tiles ~part ~noc ~cap_entries ~min_slot_cells =
+  let fits n =
+    match plan ~part ~tiles:n ~noc ~cap_entries with
+    | Some p -> p.slot_logic_cells >= min_slot_cells
+    | None -> false
+  in
+  let rec grow n = if fits (n + 1) then grow (n + 1) else n in
+  if fits 1 then grow 1 else 0
+
+let pp_plan ppf p =
+  Format.fprintf ppf
+    "%-10s tiles=%-3d os=%-9d slot=%-9d overhead=%.1f%%"
+    p.part.Parts.name p.tiles p.os_logic_cells p.slot_logic_cells
+    (100.0 *. p.overhead_frac)

@@ -1,0 +1,23 @@
+(** Floorplanning: how many Apiary tiles fit on a part, and what fraction
+    of the fabric the OS costs — the scalability half of §6-Q1 ("the
+    amount of FPGA logic resources devoted to Apiary grows with the
+    number of tiles"). *)
+
+type plan = {
+  part : Parts.t;
+  tiles : int;
+  os_logic_cells : int;  (** static region + per-tile OS hardware *)
+  slot_logic_cells : int;  (** per-tile budget left for the accelerator *)
+  overhead_frac : float;  (** OS cells / part cells *)
+}
+
+val plan : part:Parts.t -> tiles:int -> noc:Area.noc_params -> cap_entries:int -> plan option
+(** [None] when the OS alone exceeds the part. *)
+
+val max_tiles :
+  part:Parts.t -> noc:Area.noc_params -> cap_entries:int ->
+  min_slot_cells:int -> int
+(** Largest tile count such that each slot still has [min_slot_cells]
+    for user logic. *)
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,724 @@
+(* Tests for the accelerator library: codecs (roundtrip properties), the
+   KV accelerator against the real memory service, pipeline stages,
+   load balancing, fault injection wrappers, and multi-context
+   preemption. *)
+
+module Sim = Apiary_engine.Sim
+module Rng = Apiary_engine.Rng
+module Checksum = Apiary_engine.Checksum
+module Message = Apiary_core.Message
+module Monitor = Apiary_core.Monitor
+module Shell = Apiary_core.Shell
+module Kernel = Apiary_core.Kernel
+module Codec = Apiary_accel.Codec
+module Kv = Apiary_accel.Kv
+module Accels = Apiary_accel.Accels
+module Faulty = Apiary_accel.Faulty
+module Multi_ctx = Apiary_accel.Multi_ctx
+module Ctx_manager = Apiary_accel.Ctx_manager
+module Mvm = Apiary_accel.Mvm
+module Seg_alloc = Apiary_mem.Seg_alloc
+
+let b = Bytes.of_string
+
+let mk_kernel () =
+  let sim = Sim.create () in
+  let cfg = { Kernel.default_config with Kernel.dram_bytes = 1 lsl 21 } in
+  (sim, Kernel.create sim cfg)
+
+let with_client kernel ~tile f =
+  Kernel.install kernel ~tile
+    (Shell.behavior "client" ~on_boot:(fun sh ->
+         Sim.after (Shell.sim sh) 400 (fun () -> f sh)))
+
+(* ------------------------------------------------------------------ *)
+(* Checksums *)
+
+let test_checksum_vectors () =
+  Alcotest.(check bool) "published vectors" true (Checksum.self_test ())
+
+let test_crc32_detects_flip () =
+  let data = b "some frame payload" in
+  let c1 = Checksum.crc32 data in
+  Bytes.set data 3 'X';
+  Alcotest.(check bool) "differs" true (Checksum.crc32 data <> c1)
+
+(* ------------------------------------------------------------------ *)
+(* Codecs *)
+
+let bytes_gen =
+  QCheck.Gen.(map Bytes.of_string (string_size (int_range 0 2000)))
+
+let compressible_gen =
+  QCheck.Gen.(
+    map
+      (fun (seed, n, r) ->
+        Rng.bytes_compressible (Rng.create ~seed) n ~redundancy:r)
+      (triple (int_bound 10000) (int_range 0 3000) (float_bound_exclusive 0.99)))
+
+let prop_rle_roundtrip =
+  QCheck.Test.make ~name:"rle roundtrip" ~count:300 (QCheck.make bytes_gen)
+    (fun data -> Codec.rle_decode (Codec.rle_encode data) = Ok data)
+
+let prop_lz_roundtrip =
+  QCheck.Test.make ~name:"lz roundtrip (random)" ~count:300 (QCheck.make bytes_gen)
+    (fun data -> Codec.lz_decode (Codec.lz_encode data) = Ok data)
+
+let prop_lz_roundtrip_compressible =
+  QCheck.Test.make ~name:"lz roundtrip (compressible)" ~count:200
+    (QCheck.make compressible_gen)
+    (fun data -> Codec.lz_decode (Codec.lz_encode data) = Ok data)
+
+let test_lz_compresses_redundant () =
+  let rng = Rng.create ~seed:9 in
+  let data = Rng.bytes_compressible rng 8192 ~redundancy:0.97 in
+  let packed = Codec.lz_encode data in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d -> %d" (Bytes.length data) (Bytes.length packed))
+    true
+    (Bytes.length packed * 3 < Bytes.length data)
+
+let test_lz_rejects_garbage () =
+  (match Codec.lz_decode (b "\x07garbage") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoded bad token");
+  match Codec.lz_decode (b "\x01\x00\x10\x05") with
+  | Error _ -> ()  (* distance beyond output *)
+  | Ok _ -> Alcotest.fail "decoded bad distance"
+
+let prop_video_roundtrip_within_tolerance =
+  QCheck.Test.make ~name:"video encode/decode within tolerance" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         map2 (fun s q -> (Bytes.of_string s, q)) (string_size (int_range 1 2000))
+           (int_range 1 4)))
+    (fun (data, q) ->
+      let width = 64 in
+      match Codec.video_decode ~q ~width (Codec.video_encode ~q ~width data) with
+      | Error _ -> false
+      | Ok out ->
+        let tol = Codec.max_error ~q in
+        let ok = ref (Bytes.length out = Bytes.length data) in
+        if !ok then
+          for i = 0 to Bytes.length data - 1 do
+            let d = abs (Char.code (Bytes.get out i) - Char.code (Bytes.get data i)) in
+            if d > tol then ok := false
+          done;
+        !ok)
+
+let test_video_smooth_data_compresses () =
+  (* A smooth ramp should quantize to mostly-zero deltas and RLE well. *)
+  let data = Bytes.init 4096 (fun i -> Char.chr (i / 64 mod 256)) in
+  let enc = Codec.video_encode ~q:2 ~width:64 data in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d -> %d" (Bytes.length data) (Bytes.length enc))
+    true
+    (Bytes.length enc * 4 < Bytes.length data)
+
+(* ------------------------------------------------------------------ *)
+(* KV proto + accelerator *)
+
+let prop_kv_req_roundtrip =
+  QCheck.Test.make ~name:"kv request codec" ~count:200
+    QCheck.(pair (string_of_size Gen.(int_range 1 60)) (string_of_size Gen.(int_range 0 500)))
+    (fun (k, v) ->
+      Kv.Proto.decode_req (Kv.Proto.encode_req (Kv.Proto.Put (k, Bytes.of_string v)))
+      = Ok (Kv.Proto.Put (k, Bytes.of_string v))
+      && Kv.Proto.decode_req (Kv.Proto.encode_req (Kv.Proto.Get k)) = Ok (Kv.Proto.Get k)
+      && Kv.Proto.decode_req (Kv.Proto.encode_req (Kv.Proto.Del k)) = Ok (Kv.Proto.Del k))
+
+let prop_kv_resp_roundtrip =
+  QCheck.Test.make ~name:"kv response codec" ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 300))
+    (fun v ->
+      let open Kv.Proto in
+      decode_resp (encode_resp (Found (Bytes.of_string v))) = Ok (Found (Bytes.of_string v))
+      && decode_resp (encode_resp Stored) = Ok Stored
+      && decode_resp (encode_resp Not_found) = Ok Not_found
+      && decode_resp (encode_resp (Failed v)) = Ok (Failed v))
+
+let kv_rpc sh conn req cb =
+  Shell.request sh conn ~opcode:Kv.Proto.opcode (Kv.Proto.encode_req req) (fun r ->
+      match r with
+      | Ok m -> cb (Kv.Proto.decode_resp m.Message.payload)
+      | Error e -> cb (Error (Shell.rpc_error_to_string e)))
+
+let test_kv_put_get_del () =
+  let sim, k = mk_kernel () in
+  let kv_behavior, kv_stats = Kv.behavior () in
+  Kernel.install k ~tile:1 kv_behavior;
+  let log = ref [] in
+  let push x = log := x :: !log in
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"kv" (fun r ->
+          match r with
+          | Error e -> Alcotest.failf "connect: %s" (Shell.rpc_error_to_string e)
+          | Ok conn ->
+            kv_rpc sh conn (Kv.Proto.Put ("alpha", b "first value")) (fun r ->
+                push ("put", r);
+                kv_rpc sh conn (Kv.Proto.Get "alpha") (fun r ->
+                    push ("get", r);
+                    kv_rpc sh conn (Kv.Proto.Del "alpha") (fun r ->
+                        push ("del", r);
+                        kv_rpc sh conn (Kv.Proto.Get "alpha") (fun r ->
+                            push ("get2", r)))))));
+  Sim.run_for sim 30_000;
+  (match List.rev !log with
+  | [ ("put", Ok Kv.Proto.Stored);
+      ("get", Ok (Kv.Proto.Found v));
+      ("del", Ok Kv.Proto.Deleted);
+      ("get2", Ok Kv.Proto.Not_found) ] ->
+    Alcotest.(check string) "value" "first value" (Bytes.to_string v)
+  | l -> Alcotest.failf "unexpected op sequence (%d entries)" (List.length l));
+  Alcotest.(check int) "2 gets" 2 kv_stats.Kv.gets;
+  Alcotest.(check int) "1 miss" 1 kv_stats.Kv.misses
+
+let test_kv_overwrite () =
+  let sim, k = mk_kernel () in
+  let kv_behavior, _ = Kv.behavior () in
+  Kernel.install k ~tile:1 kv_behavior;
+  let final = ref None in
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"kv" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn ->
+            kv_rpc sh conn (Kv.Proto.Put ("k", b "v1")) (fun _ ->
+                kv_rpc sh conn (Kv.Proto.Put ("k", b "v2-longer")) (fun _ ->
+                    kv_rpc sh conn (Kv.Proto.Get "k") (fun r -> final := Some r)))));
+  Sim.run_for sim 30_000;
+  match !final with
+  | Some (Ok (Kv.Proto.Found v)) -> Alcotest.(check string) "latest" "v2-longer" (Bytes.to_string v)
+  | _ -> Alcotest.fail "overwrite failed"
+
+let test_kv_many_keys_integrity () =
+  (* Fill with many keys, read them all back; values come from real DRAM
+     so this catches allocator/offset bugs. *)
+  let sim, k = mk_kernel () in
+  let kv_behavior, _ = Kv.behavior ~store_bytes:(128 * 1024) () in
+  Kernel.install k ~tile:1 kv_behavior;
+  let n = 60 in
+  let value i = Bytes.init (17 + (i * 7 mod 200)) (fun j -> Char.chr ((i + j) mod 256)) in
+  let verified = ref 0 and failures = ref 0 in
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"kv" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn ->
+            let rec put i =
+              if i >= n then get 0
+              else
+                kv_rpc sh conn (Kv.Proto.Put (Printf.sprintf "key%d" i, value i))
+                  (fun r ->
+                    (match r with Ok Kv.Proto.Stored -> () | _ -> incr failures);
+                    put (i + 1))
+            and get i =
+              if i < n then
+                kv_rpc sh conn (Kv.Proto.Get (Printf.sprintf "key%d" i)) (fun r ->
+                    (match r with
+                    | Ok (Kv.Proto.Found v) when v = value i -> incr verified
+                    | _ -> incr failures);
+                    get (i + 1))
+            in
+            put 0));
+  Sim.run_for sim 400_000;
+  Alcotest.(check int) "no failures" 0 !failures;
+  Alcotest.(check int) "all verified" n !verified
+
+
+let test_kv_store_full_and_recovery () =
+  (* Fill the arena past capacity, observe Failed("store full"), delete,
+     and verify new PUTs succeed again (arena coalescing works through
+     the service). *)
+  let sim, k = mk_kernel () in
+  let kv_behavior, kv_stats = Kv.behavior ~store_bytes:4096 () in
+  Kernel.install k ~tile:1 kv_behavior;
+  let fulls = ref 0 and stored = ref 0 and recovered = ref None in
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"kv" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn ->
+            let rec put i =
+              if i >= 8 then begin
+                (* Free one and retry. *)
+                kv_rpc sh conn (Kv.Proto.Del "k0") (fun _ ->
+                    kv_rpc sh conn (Kv.Proto.Put ("fresh", Bytes.create 700))
+                      (fun r -> recovered := Some r))
+              end
+              else
+                kv_rpc sh conn (Kv.Proto.Put (Printf.sprintf "k%d" i, Bytes.create 700))
+                  (fun r ->
+                    (match r with
+                    | Ok Kv.Proto.Stored -> incr stored
+                    | Ok (Kv.Proto.Failed _) -> incr fulls
+                    | _ -> ());
+                    put (i + 1))
+            in
+            put 0));
+  Sim.run_for sim 100_000;
+  Alcotest.(check bool) (Printf.sprintf "some stored (%d)" !stored) true (!stored >= 4);
+  Alcotest.(check bool) (Printf.sprintf "some full (%d)" !fulls) true (!fulls >= 1);
+  Alcotest.(check bool) "oom counted" true (kv_stats.Kv.oom >= 1);
+  match !recovered with
+  | Some (Ok Kv.Proto.Stored) -> ()
+  | _ -> Alcotest.fail "put after delete should succeed"
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline stage + load balancer *)
+
+let test_transform_stage_pipeline () =
+  let sim, k = mk_kernel () in
+  Kernel.install k ~tile:4 (Accels.compressor ~algo:`Rle ());
+  Kernel.install k ~tile:1
+    (Accels.transform_stage ~service:"stage" ~next:"compress"
+       ~f:(fun p -> Codec.video_encode ~q:2 ~width:64 p)
+       ());
+  let original = Bytes.init 512 (fun i -> Char.chr (i / 8 mod 256)) in
+  let out = ref None in
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"stage" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn ->
+            Shell.request sh conn ~opcode:Accels.op_encode original (fun r ->
+                match r with
+                | Ok m -> out := Some m.Message.payload
+                | Error _ -> ())));
+  Sim.run_for sim 30_000;
+  match !out with
+  | None -> Alcotest.fail "pipeline produced nothing"
+  | Some response ->
+    (* Invert: RLE-decode then video-decode. *)
+    (match Codec.rle_decode response with
+    | Error e -> Alcotest.failf "rle: %s" e
+    | Ok encoded ->
+      (match Codec.video_decode ~q:2 ~width:64 encoded with
+      | Error e -> Alcotest.failf "video: %s" e
+      | Ok decoded ->
+        Alcotest.(check int) "length" (Bytes.length original) (Bytes.length decoded)))
+
+let test_load_balancer_spreads () =
+  let sim, k = mk_kernel () in
+  let counts = Array.make 2 0 in
+  let backend i tile =
+    Kernel.install k ~tile
+      (Shell.behavior (Printf.sprintf "be%d" i)
+         ~on_boot:(fun sh -> Shell.register_service sh (Printf.sprintf "be%d" i))
+         ~on_message:(fun sh msg ->
+           counts.(i) <- counts.(i) + 1;
+           Shell.respond sh msg ~opcode:Accels.op_echo msg.Message.payload))
+  in
+  backend 0 4;
+  backend 1 5;
+  Kernel.install k ~tile:1 (Accels.load_balancer ~service:"lb" ~backends:[ "be0"; "be1" ] ());
+  let done_count = ref 0 in
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"lb" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn ->
+            for _ = 1 to 20 do
+              Shell.request sh conn ~opcode:Accels.op_echo (b "x") (fun r ->
+                  if Result.is_ok r then incr done_count)
+            done));
+  Sim.run_for sim 60_000;
+  Alcotest.(check int) "all served" 20 !done_count;
+  Alcotest.(check bool)
+    (Printf.sprintf "spread %d/%d" counts.(0) counts.(1))
+    true
+    (counts.(0) >= 8 && counts.(1) >= 8)
+
+
+(* ------------------------------------------------------------------ *)
+(* MVM inference accelerator (shared DRAM weights) *)
+
+let test_mvm_reference_math () =
+  (* 2x3 matrix, hand-checked int8 arithmetic. *)
+  let w = Bytes.create 6 in
+  List.iteri (fun i v -> Bytes.set w i (Char.chr (v land 0xFF)))
+    [ 127; 0; 0;      (* row 0 = [127, 0, 0] *)
+      -1; -1; -1 ];   (* row 1 = [-1, -1, -1] *)
+  let x = Bytes.create 3 in
+  List.iteri (fun i v -> Bytes.set x i (Char.chr (v land 0xFF))) [ 127; 10; 10 ];
+  let out = Mvm.reference ~weights:w ~rows:2 ~cols:3 x in
+  (* row0: 127*127 = 16129 >> 7 = 126; row1: -(127+10+10) = -147 >> 7 = -2 *)
+  Alcotest.(check int) "row0" 126 (Char.code (Bytes.get out 0));
+  Alcotest.(check int) "row1" ((-2) land 0xFF) (Char.code (Bytes.get out 1))
+
+let test_mvm_end_to_end_shared_weights () =
+  let rows = 32 and cols = 64 in
+  let sim, k = mk_kernel () in
+  let rng = Rng.create ~seed:33 in
+  let weights = Mvm.random_weights rng ~rows ~cols in
+  let w0, st0 = Mvm.worker ~service:"mvm0" ~rows ~cols () in
+  let w1, st1 = Mvm.worker ~service:"mvm1" ~rows ~cols () in
+  Kernel.install k ~tile:1 w0;
+  Kernel.install k ~tile:2 w1;
+  Kernel.install k ~tile:4
+    (Mvm.loader ~weights ~rows ~cols ~worker_tiles:[ 1; 2 ] ());
+  Kernel.install k ~tile:5
+    (Accels.load_balancer ~service:"mvm" ~backends:[ "mvm0"; "mvm1" ] ());
+  let verified = ref 0 and wrong = ref 0 in
+  with_client k ~tile:6 (fun sh ->
+      Sim.after (Shell.sim sh) 8_000 (fun () ->
+          Shell.connect sh ~service:"mvm" (fun r ->
+              match r with
+              | Error _ -> ()
+              | Ok conn ->
+                let rec infer n =
+                  if n < 20 then begin
+                    let x = Rng.bytes (Shell.rng sh) cols in
+                    let expected = Mvm.reference ~weights ~rows ~cols x in
+                    Shell.request sh conn ~opcode:Mvm.Proto.opcode
+                      (Mvm.Proto.encode_req x) (fun r ->
+                        (match r with
+                        | Ok m ->
+                          (match Mvm.Proto.decode_resp m.Message.payload with
+                          | Ok out when out = expected -> incr verified
+                          | Ok _ | Error _ -> incr wrong)
+                        | Error _ -> incr wrong);
+                        infer (n + 1))
+                  end
+                in
+                infer 0)));
+  Sim.run_for sim 300_000;
+  Alcotest.(check int) "no wrong results" 0 !wrong;
+  Alcotest.(check int) "all verified" 20 !verified;
+  (* Both replicas streamed the full matrix from ONE DRAM copy. *)
+  Alcotest.(check int) "w0 loaded" (rows * cols) st0.Mvm.weight_bytes_loaded;
+  Alcotest.(check int) "w1 loaded" (rows * cols) st1.Mvm.weight_bytes_loaded;
+  Alcotest.(check bool)
+    (Printf.sprintf "single weight copy in DRAM (%d bytes used)"
+       (Seg_alloc.used_bytes (Kernel.allocator k)))
+    true
+    (Seg_alloc.used_bytes (Kernel.allocator k) <= rows * cols + 4096);
+  Alcotest.(check bool) "work split" true
+    (st0.Mvm.inferences >= 5 && st1.Mvm.inferences >= 5)
+
+let test_mvm_unready_worker_errors () =
+  let sim, k = mk_kernel () in
+  (* Worker with no loader: must answer with an error, not hang. *)
+  let w, st = Mvm.worker ~service:"mvm0" ~rows:8 ~cols:8 () in
+  Kernel.install k ~tile:1 w;
+  let got = ref None in
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"mvm0" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn ->
+            Shell.request sh conn ~opcode:Mvm.Proto.opcode (Bytes.create 8)
+              (fun r ->
+                match r with
+                | Ok m -> got := Some (Mvm.Proto.decode_resp m.Message.payload)
+                | Error _ -> ())));
+  Sim.run_for sim 20_000;
+  (match !got with
+  | Some (Error e) ->
+    Alcotest.(check string) "not loaded" "weights not loaded" e
+  | _ -> Alcotest.fail "expected error response");
+  Alcotest.(check int) "rejected counted" 1 st.Mvm.rejected
+
+(* ------------------------------------------------------------------ *)
+(* Faulty wrappers *)
+
+let test_faulty_crash_plan () =
+  let sim, k = mk_kernel () in
+  Kernel.install k ~tile:1 (Faulty.wrap [ Faulty.Crash_at 500 ] (Accels.echo ()));
+  Sim.run_for sim 2000;
+  match Kernel.faults k with
+  | [ (1, _) ] -> ()
+  | _ -> Alcotest.fail "crash plan did not fire"
+
+let test_faulty_mem_stomp_blocked_vs_allowed () =
+  (* A tenant stomps over the KV store's segment. With enforcement the
+     victim's data survives; without it the KV detects corruption on the
+     next GET. *)
+  let run ~enforce =
+    let sim = Sim.create () in
+    let cfg =
+      {
+        Kernel.default_config with
+        Kernel.dram_bytes = 1 lsl 21;
+        monitor = { Monitor.default_config with Monitor.enforce };
+      }
+    in
+    let k = Kernel.create sim cfg in
+    let kv_behavior, kv_stats = Kv.behavior () in
+    Kernel.install k ~tile:1 kv_behavior;
+    (* The KV store's segment is the first allocation: base 0. Stomp it. *)
+    Kernel.install k ~tile:5
+      (Faulty.wrap
+         [ Faulty.Mem_stomp_at { at = 6_000; addr = 0; len = 4096 } ]
+         (Shell.behavior "tenant"));
+    let result = ref None in
+    with_client k ~tile:2 (fun sh ->
+        Shell.connect sh ~service:"kv" (fun r ->
+            match r with
+            | Error _ -> ()
+            | Ok conn ->
+              kv_rpc sh conn (Kv.Proto.Put ("victim", b "precious")) (fun _ ->
+                  Sim.after (Shell.sim sh) 10_000 (fun () ->
+                      kv_rpc sh conn (Kv.Proto.Get "victim") (fun r -> result := Some r)))));
+    Sim.run_for sim 40_000;
+    (!result, kv_stats.Kv.corruptions, Monitor.denied (Kernel.monitor k 5))
+  in
+  (match run ~enforce:true with
+  | Some (Ok (Kv.Proto.Found v)), corruptions, denied ->
+    Alcotest.(check string) "data intact" "precious" (Bytes.to_string v);
+    Alcotest.(check int) "no corruption" 0 corruptions;
+    Alcotest.(check bool) "stomp denied" true (denied >= 1)
+  | _ -> Alcotest.fail "enforced run broken");
+  match run ~enforce:false with
+  | Some (Ok (Kv.Proto.Failed _)), corruptions, _ ->
+    Alcotest.(check bool) "corruption detected" true (corruptions >= 1)
+  | Some (Ok (Kv.Proto.Found _)), _, _ ->
+    Alcotest.fail "stomp should have corrupted the value"
+  | _ -> Alcotest.fail "unenforced run broken"
+
+(* ------------------------------------------------------------------ *)
+(* Multi-context preemption *)
+
+let mctx_rpc sh conn ~ctx ?(poison = false) data cb =
+  Shell.request sh conn ~opcode:Multi_ctx.Proto.opcode
+    (Multi_ctx.Proto.encode_req { Multi_ctx.Proto.ctx; poison; data })
+    (fun r ->
+      match r with
+      | Ok m -> cb (Multi_ctx.Proto.decode_resp m.Message.payload)
+      | Error e -> cb (Error (Shell.rpc_error_to_string e)))
+
+let test_mctx_state_accumulates () =
+  let sim, k = mk_kernel () in
+  let behavior, api = Multi_ctx.behavior ~nctx:4 ~preemptible:true () in
+  Kernel.install k ~tile:1 behavior;
+  let sums = ref [] in
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"mctx" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn ->
+            mctx_rpc sh conn ~ctx:0 (b "aa") (fun r ->
+                sums := r :: !sums;
+                mctx_rpc sh conn ~ctx:0 (b "bb") (fun r -> sums := r :: !sums))));
+  Sim.run_for sim 20_000;
+  (match !sums with
+  | [ Ok (Multi_ctx.Proto.Accum s2); Ok (Multi_ctx.Proto.Accum s1) ] ->
+    Alcotest.(check bool) "state evolved" true (s1 <> s2)
+  | _ -> Alcotest.fail "accumulation failed");
+  Alcotest.(check int) "2 ops" 2 (Multi_ctx.ops_served api)
+
+let test_mctx_preemptible_poison_isolates () =
+  let sim, k = mk_kernel () in
+  let behavior, api = Multi_ctx.behavior ~nctx:4 ~preemptible:true () in
+  Kernel.install k ~tile:1 behavior;
+  let after_poison = ref None in
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"mctx" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn ->
+            mctx_rpc sh conn ~ctx:1 ~poison:true (b "") (fun _ ->
+                (* Other context still alive and serving. *)
+                mctx_rpc sh conn ~ctx:2 (b "cc") (fun r -> after_poison := Some r))));
+  Sim.run_for sim 20_000;
+  Alcotest.(check bool) "ctx1 dead" false (Multi_ctx.alive api 1);
+  Alcotest.(check bool) "ctx2 alive" true (Multi_ctx.alive api 2);
+  (match !after_poison with
+  | Some (Ok (Multi_ctx.Proto.Accum _)) -> ()
+  | _ -> Alcotest.fail "surviving context should serve");
+  Alcotest.(check (list (pair int string))) "no tile fault" [] (Kernel.faults k)
+
+let test_mctx_nonpreemptible_poison_failstops () =
+  let sim, k = mk_kernel () in
+  let behavior, _ = Multi_ctx.behavior ~nctx:4 ~preemptible:false () in
+  Kernel.install k ~tile:1 behavior;
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"mctx" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn -> mctx_rpc sh conn ~ctx:1 ~poison:true (b "") (fun _ -> ())));
+  Sim.run_for sim 20_000;
+  match Kernel.faults k with
+  | [ (1, _) ] -> ()
+  | _ -> Alcotest.fail "non-preemptible tile should fail-stop"
+
+let test_mctx_snapshot_migration () =
+  (* Accumulate state in a context on tile 1, snapshot it, restore into a
+     fresh accelerator on tile 4, and verify the session continues with
+     identical state evolution. *)
+  let sim, k = mk_kernel () in
+  let b1, api1 = Multi_ctx.behavior ~service:"m1" ~nctx:2 ~preemptible:true () in
+  let b2, api2 = Multi_ctx.behavior ~service:"m2" ~nctx:2 ~preemptible:true () in
+  Kernel.install k ~tile:1 b1;
+  Kernel.install k ~tile:4 b2;
+  let migrated_sum = ref None in
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"m1" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok c1 ->
+            mctx_rpc sh c1 ~ctx:0 (b "session-data") (fun _ ->
+                (* Kernel-side migration. *)
+                (match Multi_ctx.snapshot api1 0 with
+                | None -> Alcotest.fail "snapshot failed"
+                | Some state ->
+                  (match Multi_ctx.restore api2 0 state with
+                  | Error e -> Alcotest.failf "restore: %s" e
+                  | Ok () -> ()));
+                Shell.connect sh ~service:"m2" (fun r ->
+                    match r with
+                    | Error _ -> ()
+                    | Ok c2 ->
+                      mctx_rpc sh c2 ~ctx:0 (b "more") (fun r ->
+                          migrated_sum := Some r)))));
+  Sim.run_for sim 30_000;
+  (* Reference: same two messages against one context, no migration. *)
+  let sim2, k2 = mk_kernel () in
+  let b3, _ = Multi_ctx.behavior ~service:"m3" ~nctx:2 ~preemptible:true () in
+  Kernel.install k2 ~tile:1 b3;
+  let reference = ref None in
+  with_client k2 ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"m3" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn ->
+            mctx_rpc sh conn ~ctx:0 (b "session-data") (fun _ ->
+                mctx_rpc sh conn ~ctx:0 (b "more") (fun r -> reference := Some r))));
+  Sim.run_for sim2 30_000;
+  match (!migrated_sum, !reference) with
+  | Some (Ok (Multi_ctx.Proto.Accum a)), Some (Ok (Multi_ctx.Proto.Accum r)) ->
+    Alcotest.(check int32) "state continued across migration" r a
+  | _ -> Alcotest.fail "migration comparison incomplete"
+
+
+(* ------------------------------------------------------------------ *)
+(* Context manager: more contexts than resident slots, swap to DRAM *)
+
+let cm_rpc sh conn ~ctx data cb =
+  Shell.request sh conn ~opcode:Multi_ctx.Proto.opcode
+    (Multi_ctx.Proto.encode_req { Multi_ctx.Proto.ctx; poison = false; data })
+    (fun r ->
+      match r with
+      | Ok m -> cb (Multi_ctx.Proto.decode_resp m.Message.payload)
+      | Error e -> cb (Error (Shell.rpc_error_to_string e)))
+
+let test_ctx_manager_swaps_preserve_state () =
+  (* 8 logical contexts on 2 resident slots: touching them round-robin
+     forces constant swapping, yet each context's running checksum must
+     match a no-swap reference. *)
+  let run ~resident =
+    let sim, k = mk_kernel () in
+    let behavior, st = Ctx_manager.behavior ~logical:8 ~resident () in
+    Kernel.install k ~tile:1 behavior;
+    let sums = Array.make 8 None in
+    with_client k ~tile:2 (fun sh ->
+        Shell.connect sh ~service:"ctxmgr" (fun r ->
+            match r with
+            | Error _ -> ()
+            | Ok conn ->
+              (* Two passes over all contexts. *)
+              let rec go pass ctx =
+                if pass < 2 then
+                  cm_rpc sh conn ~ctx (b (Printf.sprintf "p%dc%d" pass ctx))
+                    (fun r ->
+                      (match r with
+                      | Ok (Multi_ctx.Proto.Accum s) -> sums.(ctx) <- Some s
+                      | _ -> ());
+                      if ctx = 7 then go (pass + 1) 0 else go pass (ctx + 1))
+              in
+              go 0 0));
+    Sim.run_for sim 300_000;
+    (Array.copy sums, st)
+  in
+  let swapped, st2 = run ~resident:2 in
+  let reference, st8 = run ~resident:8 in
+  Alcotest.(check bool) "all contexts served" true
+    (Array.for_all Option.is_some swapped);
+  Alcotest.(check bool) "checksums identical with and without swapping" true
+    (swapped = reference);
+  Alcotest.(check bool)
+    (Printf.sprintf "swapping happened (%d ins)" st2.Ctx_manager.swap_ins)
+    true
+    (st2.Ctx_manager.swap_ins >= 8);
+  Alcotest.(check int) "no swaps when everything fits" 8 st8.Ctx_manager.swap_ins
+  (* (the first touch of each context is a cold fetch) *)
+
+let test_ctx_manager_locality_hits () =
+  (* Repeatedly touching one context must hit the resident slot. *)
+  let sim, k = mk_kernel () in
+  let behavior, st = Ctx_manager.behavior ~logical:8 ~resident:2 () in
+  Kernel.install k ~tile:1 behavior;
+  with_client k ~tile:2 (fun sh ->
+      Shell.connect sh ~service:"ctxmgr" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok conn ->
+            let rec go n =
+              if n < 50 then cm_rpc sh conn ~ctx:3 (b "x") (fun _ -> go (n + 1))
+            in
+            go 0));
+  Sim.run_for sim 200_000;
+  Alcotest.(check int) "one cold fetch" 1 st.Ctx_manager.swap_ins;
+  Alcotest.(check bool)
+    (Printf.sprintf "hits %d" st.Ctx_manager.resident_hits)
+    true
+    (st.Ctx_manager.resident_hits >= 49)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "accel"
+    [
+      ( "checksum",
+        [
+          Alcotest.test_case "vectors" `Quick test_checksum_vectors;
+          Alcotest.test_case "crc flip" `Quick test_crc32_detects_flip;
+        ] );
+      ( "codec",
+        [
+          qc prop_rle_roundtrip;
+          qc prop_lz_roundtrip;
+          qc prop_lz_roundtrip_compressible;
+          Alcotest.test_case "lz compresses" `Quick test_lz_compresses_redundant;
+          Alcotest.test_case "lz rejects garbage" `Quick test_lz_rejects_garbage;
+          qc prop_video_roundtrip_within_tolerance;
+          Alcotest.test_case "video compresses" `Quick test_video_smooth_data_compresses;
+        ] );
+      ( "kv",
+        [
+          qc prop_kv_req_roundtrip;
+          qc prop_kv_resp_roundtrip;
+          Alcotest.test_case "put/get/del" `Quick test_kv_put_get_del;
+          Alcotest.test_case "overwrite" `Quick test_kv_overwrite;
+          Alcotest.test_case "many keys integrity" `Quick test_kv_many_keys_integrity;
+          Alcotest.test_case "store full + recovery" `Quick test_kv_store_full_and_recovery;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "transform stage" `Quick test_transform_stage_pipeline;
+          Alcotest.test_case "load balancer" `Quick test_load_balancer_spreads;
+        ] );
+      ( "mvm",
+        [
+          Alcotest.test_case "reference math" `Quick test_mvm_reference_math;
+          Alcotest.test_case "shared weights end-to-end" `Quick test_mvm_end_to_end_shared_weights;
+          Alcotest.test_case "unready errors" `Quick test_mvm_unready_worker_errors;
+        ] );
+      ( "faulty",
+        [
+          Alcotest.test_case "crash plan" `Quick test_faulty_crash_plan;
+          Alcotest.test_case "mem stomp" `Quick test_faulty_mem_stomp_blocked_vs_allowed;
+        ] );
+      ( "ctx_manager",
+        [
+          Alcotest.test_case "swap preserves state" `Quick test_ctx_manager_swaps_preserve_state;
+          Alcotest.test_case "locality hits" `Quick test_ctx_manager_locality_hits;
+        ] );
+      ( "multi_ctx",
+        [
+          Alcotest.test_case "state accumulates" `Quick test_mctx_state_accumulates;
+          Alcotest.test_case "preemptible isolates" `Quick test_mctx_preemptible_poison_isolates;
+          Alcotest.test_case "non-preemptible failstops" `Quick test_mctx_nonpreemptible_poison_failstops;
+          Alcotest.test_case "snapshot migration" `Quick test_mctx_snapshot_migration;
+        ] );
+    ]

@@ -1,0 +1,289 @@
+(* Tests for the capability system: rights lattice, minting, attenuation,
+   cross-store grants, cascading revocation, handle staleness, and the
+   access checks the monitor relies on. *)
+
+module Rights = Apiary_cap.Rights
+module Store = Apiary_cap.Store
+
+let ok_exn = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" (Store.error_to_string e)
+let err_exn = function Error e -> e | Ok _ -> Alcotest.fail "expected error"
+
+let err =
+  Alcotest.testable
+    (fun ppf e -> Format.pp_print_string ppf (Store.error_to_string e))
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Rights *)
+
+let test_rights_subset () =
+  Alcotest.(check bool) "ro <= full" true (Rights.subset Rights.ro Rights.full);
+  Alcotest.(check bool) "full </= ro" false (Rights.subset Rights.full Rights.ro);
+  Alcotest.(check bool) "none <= everything" true (Rights.subset Rights.none Rights.ro);
+  Alcotest.(check bool) "reflexive" true (Rights.subset Rights.rw Rights.rw)
+
+let test_rights_inter () =
+  let i = Rights.inter Rights.rw Rights.ro in
+  Alcotest.(check bool) "inter = ro" true (Rights.equal i Rights.ro)
+
+let prop_rights_inter_lower_bound =
+  let gen =
+    QCheck.make
+      (QCheck.Gen.map
+         (fun (r, w, g) -> { Rights.read = r; write = w; grant = g })
+         QCheck.Gen.(triple bool bool bool))
+  in
+  QCheck.Test.make ~name:"inter is a lower bound" ~count:100 (QCheck.pair gen gen)
+    (fun (a, b) ->
+      let i = Rights.inter a b in
+      Rights.subset i a && Rights.subset i b)
+
+(* ------------------------------------------------------------------ *)
+(* Store basics *)
+
+let seg base len = Store.Segment { base; len }
+let ep tile endpoint = Store.Endpoint { tile; endpoint }
+
+let test_mint_and_inspect () =
+  let s = Store.create ~tile:0 () in
+  let h = ok_exn (Store.mint s (seg 0x1000 256) Rights.rw) in
+  let tgt, r = ok_exn (Store.inspect s h) in
+  Alcotest.(check bool) "target" true (tgt = seg 0x1000 256);
+  Alcotest.(check bool) "rights" true (Rights.equal r Rights.rw);
+  Alcotest.(check int) "live" 1 (Store.live s)
+
+let test_invalid_handle () =
+  let s = Store.create ~tile:0 () in
+  Alcotest.check err "bogus handle" Store.Invalid_handle
+    (err_exn (Store.inspect s 12345))
+
+let test_capacity_exhaustion () =
+  let s = Store.create ~capacity:4 ~tile:0 () in
+  for _ = 1 to 4 do
+    ignore (ok_exn (Store.mint s (seg 0 16) Rights.ro))
+  done;
+  Alcotest.check err "table full" Store.Invalid_handle
+    (err_exn (Store.mint s (seg 0 16) Rights.ro))
+
+let test_slot_reuse_after_revoke () =
+  let s = Store.create ~capacity:2 ~tile:0 () in
+  let h = ok_exn (Store.mint s (seg 0 16) Rights.full) in
+  ignore (ok_exn (Store.revoke s h));
+  (* Slot freed: minting works again, but the old handle must stay dead. *)
+  let h2 = ok_exn (Store.mint s (seg 32 16) Rights.full) in
+  Alcotest.check err "stale handle rejected" Store.Invalid_handle
+    (err_exn (Store.inspect s h));
+  ignore (ok_exn (Store.inspect s h2))
+
+(* ------------------------------------------------------------------ *)
+(* Derivation / attenuation *)
+
+let test_derive_attenuates () =
+  let s = Store.create ~tile:0 () in
+  let h = ok_exn (Store.mint s (seg 0x1000 256) Rights.full) in
+  let child = ok_exn (Store.derive s ~parent:h ~rights:Rights.ro ()) in
+  let _, r = ok_exn (Store.inspect s child) in
+  Alcotest.(check bool) "child is ro" true (Rights.equal r Rights.ro)
+
+let test_derive_cannot_amplify () =
+  let s = Store.create ~tile:0 () in
+  let h = ok_exn (Store.mint s (seg 0 64) { Rights.read = true; write = false; grant = true }) in
+  Alcotest.check err "no amplification" Store.Rights_exceeded
+    (err_exn (Store.derive s ~parent:h ~rights:Rights.rw ()))
+
+let test_derive_needs_grant () =
+  let s = Store.create ~tile:0 () in
+  let h = ok_exn (Store.mint s (seg 0 64) Rights.rw) in
+  Alcotest.check err "no grant right" Store.Not_grantable
+    (err_exn (Store.derive s ~parent:h ~rights:Rights.ro ()))
+
+let test_derive_subrange () =
+  let s = Store.create ~tile:0 () in
+  let h = ok_exn (Store.mint s (seg 0x1000 256) Rights.full) in
+  let child = ok_exn (Store.derive s ~parent:h ~rights:Rights.rw ~sub:(64, 64) ()) in
+  let tgt, _ = ok_exn (Store.inspect s child) in
+  Alcotest.(check bool) "narrowed" true (tgt = seg (0x1000 + 64) 64)
+
+let test_derive_subrange_oob () =
+  let s = Store.create ~tile:0 () in
+  let h = ok_exn (Store.mint s (seg 0x1000 256) Rights.full) in
+  Alcotest.check err "oob subrange" Store.Bounds
+    (err_exn (Store.derive s ~parent:h ~rights:Rights.rw ~sub:(200, 100) ()))
+
+let test_derive_sub_on_endpoint () =
+  let s = Store.create ~tile:0 () in
+  let h = ok_exn (Store.mint s (ep 3 1) Rights.full) in
+  Alcotest.check err "sub on endpoint" Store.Wrong_type
+    (err_exn (Store.derive s ~parent:h ~rights:Rights.send ~sub:(0, 1) ()))
+
+let prop_derivation_chain_monotone =
+  (* Along any random derivation chain, rights only shrink and segment
+     ranges only narrow. *)
+  QCheck.Test.make ~name:"derivation chains are monotone" ~count:100
+    QCheck.(small_list (pair (int_bound 2) (int_bound 2)))
+    (fun choices ->
+      let s = Store.create ~tile:0 () in
+      let root = ok_exn (Store.mint s (seg 0 1024) Rights.full) in
+      let rights_of i =
+        match i with 0 -> Rights.full | 1 -> Rights.rw | _ -> Rights.ro
+      in
+      let rec walk h (tgt, r) = function
+        | [] -> true
+        | (ri, si) :: rest ->
+          let want = rights_of ri in
+          let sub = if si = 0 then None else Some (0, 16) in
+          (match Store.derive s ~parent:h ~rights:want ?sub () with
+          | Error _ -> true  (* rejection is always sound *)
+          | Ok child ->
+            let ctgt, cr = ok_exn (Store.inspect s child) in
+            let rights_ok = Rights.subset cr r in
+            let range_ok =
+              match (tgt, ctgt) with
+              | Store.Segment a, Store.Segment b ->
+                b.base >= a.base && b.base + b.len <= a.base + a.len
+              | _ -> false
+            in
+            rights_ok && range_ok && walk child (ctgt, cr) rest)
+      in
+      walk root (ok_exn (Store.inspect s root)) choices)
+
+(* ------------------------------------------------------------------ *)
+(* Grants & revocation *)
+
+let test_grant_cross_store () =
+  let a = Store.create ~tile:0 () and b = Store.create ~tile:1 () in
+  let h = ok_exn (Store.mint a (seg 0x2000 128) Rights.full) in
+  let hb = ok_exn (Store.grant ~src:a ~dst:b ~parent:h ~rights:Rights.ro) in
+  ignore (ok_exn (Store.check_mem b hb ~addr:0x2000 ~len:8 ~write:false));
+  Alcotest.(check int) "b has one cap" 1 (Store.live b)
+
+let test_revoke_cascades_cross_store () =
+  let a = Store.create ~tile:0 () and b = Store.create ~tile:1 () in
+  let h = ok_exn (Store.mint a (seg 0x2000 128) Rights.full) in
+  let hb = ok_exn (Store.grant ~src:a ~dst:b ~parent:h ~rights:Rights.ro) in
+  let n = ok_exn (Store.revoke a h) in
+  Alcotest.(check int) "two revoked" 2 n;
+  Alcotest.check err "grantee dead" Store.Invalid_handle
+    (err_exn (Store.check_mem b hb ~addr:0x2000 ~len:8 ~write:false))
+
+let test_revoke_deep_chain () =
+  let s = Store.create ~tile:0 () in
+  let root = ok_exn (Store.mint s (seg 0 4096) Rights.full) in
+  let rec chain h n acc =
+    if n = 0 then List.rev acc
+    else
+      let c = ok_exn (Store.derive s ~parent:h ~rights:Rights.full ()) in
+      chain c (n - 1) (c :: acc)
+  in
+  let descendants = chain root 10 [] in
+  let n = ok_exn (Store.revoke s root) in
+  Alcotest.(check int) "11 revoked" 11 n;
+  List.iter
+    (fun h ->
+      Alcotest.check err "descendant dead" Store.Invalid_handle
+        (err_exn (Store.inspect s h)))
+    descendants;
+  Alcotest.(check int) "store empty" 0 (Store.live s)
+
+let test_revoke_child_then_parent () =
+  (* Independently revoking a child then the parent must not double-free
+     or touch an unrelated cap that reused the slot. *)
+  let s = Store.create ~tile:0 () in
+  let root = ok_exn (Store.mint s (seg 0 4096) Rights.full) in
+  let child = ok_exn (Store.derive s ~parent:root ~rights:Rights.rw ()) in
+  ignore (ok_exn (Store.revoke s child));
+  let innocent = ok_exn (Store.mint s (seg 8192 64) Rights.rw) in
+  let n = ok_exn (Store.revoke s root) in
+  Alcotest.(check int) "only root revoked now" 1 n;
+  ignore (ok_exn (Store.inspect s innocent))
+
+(* ------------------------------------------------------------------ *)
+(* Access checks *)
+
+let test_check_send () =
+  let s = Store.create ~tile:0 () in
+  let h = ok_exn (Store.mint s (ep 5 2) Rights.send) in
+  ignore (ok_exn (Store.check_send s h ~tile:5 ~endpoint:2));
+  Alcotest.check err "wrong dst" Store.Bounds
+    (err_exn (Store.check_send s h ~tile:5 ~endpoint:3));
+  Alcotest.check err "wrong tile" Store.Bounds
+    (err_exn (Store.check_send s h ~tile:6 ~endpoint:2))
+
+let test_check_send_on_segment () =
+  let s = Store.create ~tile:0 () in
+  let h = ok_exn (Store.mint s (seg 0 64) Rights.rw) in
+  Alcotest.check err "segment is not endpoint" Store.Wrong_type
+    (err_exn (Store.check_send s h ~tile:0 ~endpoint:0))
+
+let test_check_mem_bounds_and_rights () =
+  let s = Store.create ~tile:0 () in
+  let h = ok_exn (Store.mint s (seg 0x1000 256) Rights.ro) in
+  ignore (ok_exn (Store.check_mem s h ~addr:0x1000 ~len:256 ~write:false));
+  Alcotest.check err "write to ro" Store.Rights_exceeded
+    (err_exn (Store.check_mem s h ~addr:0x1000 ~len:8 ~write:true));
+  Alcotest.check err "below" Store.Bounds
+    (err_exn (Store.check_mem s h ~addr:0xFFF ~len:8 ~write:false));
+  Alcotest.check err "beyond" Store.Bounds
+    (err_exn (Store.check_mem s h ~addr:0x1000 ~len:257 ~write:false));
+  Alcotest.check err "negative len" Store.Bounds
+    (err_exn (Store.check_mem s h ~addr:0x1000 ~len:(-1) ~write:false))
+
+let prop_check_mem_never_escapes =
+  (* Whatever accesses are attempted through a narrowed child cap, none
+     outside the child window ever passes. *)
+  QCheck.Test.make ~name:"narrowed cap confines accesses" ~count:200
+    QCheck.(triple (int_bound 512) (int_bound 512) (int_bound 600))
+    (fun (off, len, addr_off) ->
+      let s = Store.create ~tile:0 () in
+      let root = ok_exn (Store.mint s (seg 0 1024) Rights.full) in
+      match Store.derive s ~parent:root ~rights:Rights.rw ~sub:(off, len) () with
+      | Error _ -> true
+      | Ok child ->
+        let addr = addr_off and alen = 8 in
+        (match Store.check_mem s child ~addr ~len:alen ~write:true with
+        | Ok () -> addr >= off && addr + alen <= off + len
+        | Error _ -> not (addr >= off && addr + alen <= off + len)))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "cap"
+    [
+      ( "rights",
+        [
+          Alcotest.test_case "subset" `Quick test_rights_subset;
+          Alcotest.test_case "inter" `Quick test_rights_inter;
+          qc prop_rights_inter_lower_bound;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "mint+inspect" `Quick test_mint_and_inspect;
+          Alcotest.test_case "invalid handle" `Quick test_invalid_handle;
+          Alcotest.test_case "capacity" `Quick test_capacity_exhaustion;
+          Alcotest.test_case "slot reuse" `Quick test_slot_reuse_after_revoke;
+        ] );
+      ( "derive",
+        [
+          Alcotest.test_case "attenuates" `Quick test_derive_attenuates;
+          Alcotest.test_case "no amplification" `Quick test_derive_cannot_amplify;
+          Alcotest.test_case "needs grant" `Quick test_derive_needs_grant;
+          Alcotest.test_case "subrange" `Quick test_derive_subrange;
+          Alcotest.test_case "subrange oob" `Quick test_derive_subrange_oob;
+          Alcotest.test_case "sub on endpoint" `Quick test_derive_sub_on_endpoint;
+          qc prop_derivation_chain_monotone;
+        ] );
+      ( "revoke",
+        [
+          Alcotest.test_case "cross-store grant" `Quick test_grant_cross_store;
+          Alcotest.test_case "cascade cross-store" `Quick test_revoke_cascades_cross_store;
+          Alcotest.test_case "deep chain" `Quick test_revoke_deep_chain;
+          Alcotest.test_case "child then parent" `Quick test_revoke_child_then_parent;
+        ] );
+      ( "checks",
+        [
+          Alcotest.test_case "send" `Quick test_check_send;
+          Alcotest.test_case "send on segment" `Quick test_check_send_on_segment;
+          Alcotest.test_case "mem bounds+rights" `Quick test_check_mem_bounds_and_rights;
+          qc prop_check_mem_never_escapes;
+        ] );
+    ]

@@ -1,0 +1,362 @@
+(* Unit and property tests for the simulation engine: heap ordering, RNG
+   determinism and distributions, histogram accuracy, FIFO two-phase
+   semantics, and simulator phase ordering. *)
+
+module Heap = Apiary_engine.Heap
+module Rng = Apiary_engine.Rng
+module Stats = Apiary_engine.Stats
+module Sim = Apiary_engine.Sim
+module Fifo = Apiary_engine.Fifo
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop none" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek none" None (Heap.peek h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) l;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare l)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 50 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done
+
+let test_rng_float_unit () =
+  let r = Rng.create ~seed:2 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_rng_uniformity () =
+  let r = Rng.create ~seed:3 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int r 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      if frac < 0.08 || frac > 0.12 then Alcotest.fail "non-uniform bucket")
+    counts
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:4 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:10.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 9.5 || mean > 10.5 then
+    Alcotest.failf "exponential mean %.2f out of tolerance" mean
+
+let test_rng_zipf_skew () =
+  let r = Rng.create ~seed:5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let i = Rng.zipf r ~n:100 ~theta:0.99 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* Key 0 must dominate the tail under heavy skew. *)
+  Alcotest.(check bool) "head heavier than mid" true (counts.(0) > counts.(50) * 10)
+
+let test_rng_zipf_uniform_degenerate () =
+  let r = Rng.create ~seed:6 in
+  for _ = 1 to 1000 do
+    let v = Rng.zipf r ~n:10 ~theta:0.0 in
+    if v < 0 || v >= 10 then Alcotest.fail "zipf out of range"
+  done
+
+let test_rng_compressible_bytes () =
+  let r = Rng.create ~seed:7 in
+  let redundant = Rng.bytes_compressible r 4096 ~redundancy:0.95 in
+  let count_runs b =
+    let runs = ref 1 in
+    for i = 1 to Bytes.length b - 1 do
+      if Bytes.get b i <> Bytes.get b (i - 1) then incr runs
+    done;
+    !runs
+  in
+  let random = Rng.bytes r 4096 in
+  Alcotest.(check bool) "redundant has fewer runs" true
+    (count_runs redundant * 4 < count_runs random)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_hist_exact_small () =
+  let h = Stats.Histogram.create "t" in
+  List.iter (Stats.Histogram.record h) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "count" 5 (Stats.Histogram.count h);
+  Alcotest.(check int) "sum" 15 (Stats.Histogram.sum h);
+  Alcotest.(check int) "p50" 3 (Stats.Histogram.percentile h 50.0);
+  Alcotest.(check int) "max" 5 (Stats.Histogram.max_value h);
+  Alcotest.(check int) "min" 1 (Stats.Histogram.min_value h)
+
+let test_hist_percentile_accuracy () =
+  let h = Stats.Histogram.create "t" in
+  for v = 1 to 10_000 do
+    Stats.Histogram.record h v
+  done;
+  let check_p p expected =
+    let got = Stats.Histogram.percentile h p in
+    let err = abs (got - expected) in
+    if float_of_int err > 0.05 *. float_of_int expected then
+      Alcotest.failf "p%.0f = %d, want ~%d" p got expected
+  in
+  check_p 50.0 5000;
+  check_p 90.0 9000;
+  check_p 99.0 9900
+
+let test_hist_empty () =
+  let h = Stats.Histogram.create "t" in
+  Alcotest.(check int) "p99 of empty" 0 (Stats.Histogram.percentile h 99.0);
+  Alcotest.(check (float 0.01)) "mean of empty" 0.0 (Stats.Histogram.mean h)
+
+let test_hist_merge () =
+  let a = Stats.Histogram.create "a" and b = Stats.Histogram.create "b" in
+  List.iter (Stats.Histogram.record a) [ 1; 2; 3 ];
+  List.iter (Stats.Histogram.record b) [ 100; 200 ];
+  Stats.Histogram.merge_into ~src:b ~dst:a;
+  Alcotest.(check int) "merged count" 5 (Stats.Histogram.count a);
+  Alcotest.(check int) "merged max" 200 (Stats.Histogram.max_value a)
+
+let prop_hist_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 100_000))
+    (fun samples ->
+      let h = Stats.Histogram.create "q" in
+      List.iter (Stats.Histogram.record h) samples;
+      let p25 = Stats.Histogram.percentile h 25.0 in
+      let p50 = Stats.Histogram.percentile h 50.0 in
+      let p99 = Stats.Histogram.percentile h 99.0 in
+      p25 <= p50 && p50 <= p99)
+
+let prop_hist_bounded_error =
+  QCheck.Test.make ~name:"p50 within 5% of exact median" ~count:100
+    QCheck.(list_of_size Gen.(int_range 10 500) (int_range 1 1_000_000))
+    (fun samples ->
+      let h = Stats.Histogram.create "q" in
+      List.iter (Stats.Histogram.record h) samples;
+      let sorted = List.sort compare samples in
+      let exact = List.nth sorted ((List.length samples - 1) / 2) in
+      let got = Stats.Histogram.percentile h 50.0 in
+      abs (got - exact) <= max 2 (exact / 10))
+
+(* ------------------------------------------------------------------ *)
+(* Sim + Fifo *)
+
+let test_sim_event_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.at sim 5 (fun () -> log := 5 :: !log);
+  Sim.at sim 3 (fun () -> log := 3 :: !log);
+  Sim.at sim 3 (fun () -> log := 33 :: !log);
+  Sim.run_until sim 10;
+  Alcotest.(check (list int)) "order" [ 3; 33; 5 ] (List.rev !log);
+  Alcotest.(check int) "now" 10 (Sim.now sim)
+
+let test_sim_after_zero_delay () =
+  let sim = Sim.create () in
+  let fired = ref (-1) in
+  Sim.after sim 2 (fun () -> fired := Sim.now sim);
+  Sim.run_for sim 5;
+  Alcotest.(check int) "fired at 2" 2 !fired
+
+let test_sim_every () =
+  let sim = Sim.create () in
+  let n = ref 0 in
+  Sim.every sim 10 (fun () -> incr n);
+  Sim.run_until sim 101;
+  Alcotest.(check int) "ten firings" 10 !n
+
+let test_sim_ticker_runs_each_cycle () =
+  let sim = Sim.create () in
+  let n = ref 0 in
+  Sim.add_ticker sim (fun () -> incr n);
+  Sim.run_for sim 17;
+  Alcotest.(check int) "17 ticks" 17 !n
+
+let test_sim_fast_forward () =
+  let sim = Sim.create () in
+  let hit = ref false in
+  Sim.at sim 1_000_000 (fun () -> hit := true);
+  Sim.run_until sim 2_000_000;
+  Alcotest.(check bool) "event ran" true !hit;
+  Alcotest.(check int) "time" 2_000_000 (Sim.now sim)
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  Sim.add_ticker sim (fun () -> if Sim.now sim = 5 then Sim.stop sim);
+  Sim.run_for sim 100;
+  Alcotest.(check int) "stopped early" 6 (Sim.now sim)
+
+let test_fifo_two_phase () =
+  let sim = Sim.create () in
+  let f = Fifo.create sim "t" in
+  Alcotest.(check bool) "push ok" true (Fifo.push f 1);
+  (* Not yet visible: commit happens at end of cycle. *)
+  Alcotest.(check (option int)) "invisible same cycle" None (Fifo.pop f);
+  Sim.step sim;
+  Alcotest.(check (option int)) "visible next cycle" (Some 1) (Fifo.pop f)
+
+let test_fifo_capacity_counts_staged () =
+  let sim = Sim.create () in
+  let f = Fifo.create sim ~capacity:2 "t" in
+  Alcotest.(check bool) "1 ok" true (Fifo.push f 1);
+  Alcotest.(check bool) "2 ok" true (Fifo.push f 2);
+  Alcotest.(check bool) "3 rejected" false (Fifo.push f 3);
+  Sim.step sim;
+  Alcotest.(check bool) "still full" true (Fifo.is_full f);
+  ignore (Fifo.pop f);
+  Alcotest.(check bool) "room again" true (Fifo.push f 3)
+
+let test_fifo_order () =
+  let sim = Sim.create () in
+  let f = Fifo.create sim "t" in
+  List.iter (fun x -> ignore (Fifo.push f x)) [ 1; 2; 3 ];
+  Sim.step sim;
+  let drain () =
+    let rec go acc = match Fifo.pop f with None -> List.rev acc | Some x -> go (x :: acc) in
+    go []
+  in
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (drain ())
+
+let test_fifo_clear () =
+  let sim = Sim.create () in
+  let f = Fifo.create sim "t" in
+  ignore (Fifo.push f 1);
+  Sim.step sim;
+  ignore (Fifo.push f 2);
+  Fifo.clear f;
+  Sim.step sim;
+  Alcotest.(check int) "empty after clear" 0 (Fifo.length f)
+
+let test_series () =
+  let s = Stats.Series.create "t" ~interval:100 in
+  Stats.Series.record s ~now:5 1.0;
+  Stats.Series.record s ~now:50 2.0;
+  Stats.Series.record s ~now:150 4.0;
+  Alcotest.(check (list (pair int (float 0.001))))
+    "buckets" [ (0, 3.0); (100, 4.0) ] (Stats.Series.buckets s)
+
+
+let test_sim_every_with_start () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  Sim.every sim ~start:25 10 (fun () -> fired := Sim.now sim :: !fired);
+  Sim.run_until sim 60;
+  Alcotest.(check (list int)) "start honoured" [ 25; 35; 45; 55 ] (List.rev !fired)
+
+let test_sim_at_past_rejected () =
+  let sim = Sim.create () in
+  Sim.run_for sim 10;
+  Alcotest.check_raises "past" (Invalid_argument "Sim.at: time 5 not schedulable at cycle 10")
+    (fun () -> Sim.at sim 5 (fun () -> ()))
+
+let test_checksum_crc32_incremental_differs () =
+  (* init parameter chains state: crc(a++b) computable via init. *)
+  let a = Bytes.of_string "hello " and bb = Bytes.of_string "world" in
+  let whole = Apiary_engine.Checksum.crc32 (Bytes.of_string "hello world") in
+  let part = Apiary_engine.Checksum.crc32 a in
+  Alcotest.(check bool) "parts differ from whole" true
+    (part <> whole);
+  ignore bb
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          qc prop_heap_sorts;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float unit" `Quick test_rng_float_unit;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+          Alcotest.test_case "zipf theta=0" `Quick test_rng_zipf_uniform_degenerate;
+          Alcotest.test_case "compressible bytes" `Quick test_rng_compressible_bytes;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "exact small" `Quick test_hist_exact_small;
+          Alcotest.test_case "percentile accuracy" `Quick test_hist_percentile_accuracy;
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          qc prop_hist_percentile_monotone;
+          qc prop_hist_bounded_error;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "event order" `Quick test_sim_event_order;
+          Alcotest.test_case "after" `Quick test_sim_after_zero_delay;
+          Alcotest.test_case "every" `Quick test_sim_every;
+          Alcotest.test_case "ticker each cycle" `Quick test_sim_ticker_runs_each_cycle;
+          Alcotest.test_case "fast forward" `Quick test_sim_fast_forward;
+          Alcotest.test_case "stop" `Quick test_sim_stop;
+        ] );
+      ( "sim_extra",
+        [
+          Alcotest.test_case "every ~start" `Quick test_sim_every_with_start;
+          Alcotest.test_case "at past rejected" `Quick test_sim_at_past_rejected;
+          Alcotest.test_case "crc32 init" `Quick test_checksum_crc32_incremental_differs;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "two phase" `Quick test_fifo_two_phase;
+          Alcotest.test_case "capacity counts staged" `Quick test_fifo_capacity_counts_staged;
+          Alcotest.test_case "order" `Quick test_fifo_order;
+          Alcotest.test_case "clear" `Quick test_fifo_clear;
+        ] );
+      ("series", [ Alcotest.test_case "buckets" `Quick test_series ]);
+    ]
