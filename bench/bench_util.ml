@@ -42,6 +42,85 @@ let p99 h = Stats.Histogram.percentile h 99.0
 let throughput_per_sec ~count ~cycles =
   float_of_int count /. (float_of_int cycles *. cycle_ns *. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel sweeps.
+
+   Each simulation instance is fully self-contained (per-sim RNGs, stats
+   and trace buffers), so independent sweep points can run on separate
+   domains. The function must not print — callers collect results and
+   render tables on the main domain, which keeps output ordering
+   deterministic and identical to the sequential run. *)
+
+let domain_count () =
+  match Sys.getenv_opt "APIARY_DOMAINS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 1)
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let parallel_map f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let k = min n (domain_count ()) in
+    if k <= 1 then Array.to_list (Array.map f items)
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- Some (f items.(i));
+            go ()
+          end
+        in
+        go ()
+      in
+      let domains = Array.init (k - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> failwith "parallel_map: missing result")
+           results)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Perf self-measurement (--perf). *)
+
+let perf_enabled = ref false
+let perf_records : (string * float * int) list ref = ref []
+
+(* Wall-clock an experiment and record simulated cycles advanced across
+   all sims (including parallel domains) while it ran. *)
+let timed id f () =
+  if not !perf_enabled then f ()
+  else begin
+    let cycles0 = Sim.total_cycles () in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    let dc = Sim.total_cycles () - cycles0 in
+    perf_records := (id, dt, dc) :: !perf_records
+  end
+
+let write_perf_json path =
+  let oc = open_out path in
+  let records = List.rev !perf_records in
+  output_string oc "{\n  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, dt, dc) ->
+      Printf.fprintf oc
+        "    {\"id\": \"%s\", \"wall_s\": %.3f, \"sim_cycles\": %d, \"cycles_per_s\": %.0f}%s\n"
+        id dt dc
+        (if dt > 0.0 then float_of_int dc /. dt else 0.0)
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nperf: wrote %s\n" path
+
 let commas n =
   let s = string_of_int n in
   let len = String.length s in

@@ -222,15 +222,21 @@ let e1_latency () =
     let added = Monitor.added_latency (Kernel.monitor k 1) in
     (p50 rtts, Stats.Histogram.mean added)
   in
-  let raw_rtt, raw_add = run ~enforce:false ~check:0 in
+  let checks = [ 1; 2; 4; 8 ] in
+  let results =
+    parallel_map
+      (fun f -> f ())
+      ((fun () -> run ~enforce:false ~check:0)
+      :: List.map (fun check () -> run ~enforce:true ~check) checks)
+  in
+  let raw_rtt, raw_add = List.hd results in
   let rows =
-    List.map
-      (fun check ->
-        let rtt, add = run ~enforce:true ~check in
+    List.map2
+      (fun check (rtt, add) ->
         [ Printf.sprintf "enforce, %d-cycle check" check;
           i rtt; f1 add; Printf.sprintf "+%d cyc (%.0f%%)" (rtt - raw_rtt)
             (100.0 *. float_of_int (rtt - raw_rtt) /. float_of_int raw_rtt) ])
-      [ 1; 2; 4; 8 ]
+      checks (List.tl results)
   in
   table
     [ "configuration"; "RTT p50 (cyc)"; "monitor latency (cyc)"; "vs raw NoC" ]
@@ -249,19 +255,30 @@ let e1_throughput () =
             match r with
             | Error _ -> ()
             | Ok conn ->
-              Sim.add_ticker (Shell.sim sh) (fun () ->
-                  Shell.send_data sh conn ~opcode:1 (bytes_of 64))));
+              (* A flood sender is never quiescent: its drops count. *)
+              Sim.add_clocked (Shell.sim sh) (fun () ->
+                  Shell.send_data sh conn ~opcode:1 (bytes_of 64);
+                  Sim.Busy)));
     Sim.run_for sim 20_000;
     float_of_int (Monitor.msgs_out (Kernel.monitor k 1)) /. 20_000.0
   in
+  let tputs =
+    parallel_map
+      (fun f -> f ())
+      [
+        (fun () -> run ~enforce:false ~rate:1.0);
+        (fun () -> run ~enforce:true ~rate:12.0);
+        (fun () -> run ~enforce:true ~rate:3.0);
+        (fun () -> run ~enforce:true ~rate:0.6);
+      ]
+  in
   table
     [ "configuration"; "sustained msgs/cycle" ]
-    [
-      [ "no policing (raw)"; f2 (run ~enforce:false ~rate:1.0) ];
-      [ "bucket 12 flits/cyc (headroom)"; f2 (run ~enforce:true ~rate:12.0) ];
-      [ "bucket 3 flits/cyc"; f2 (run ~enforce:true ~rate:3.0) ];
-      [ "bucket 0.6 flits/cyc (tight)"; f2 (run ~enforce:true ~rate:0.6) ];
-    ]
+    (List.map2
+       (fun name v -> [ name; f2 v ])
+       [ "no policing (raw)"; "bucket 12 flits/cyc (headroom)";
+         "bucket 3 flits/cyc"; "bucket 0.6 flits/cyc (tight)" ]
+       tputs)
 
 let e1 () =
   header "E1" "per-tile monitor overhead (paper open question Q1)";
@@ -362,28 +379,43 @@ let e2_hosted ~value_bytes ~concurrency ~duration =
 let e2 () =
   header "E2" "direct-attached Apiary vs host-mediated (Coyote-style) KV";
   let duration = 400_000 in
-  let rows =
+  let combos =
     List.concat_map
       (fun value_bytes ->
-        List.map
-          (fun concurrency ->
-            let dp50, dp99, dn, duj = e2_direct ~value_bytes ~concurrency ~duration in
-            let hp50, hp99, hn, huj = e2_hosted ~value_bytes ~concurrency ~duration in
-            [
-              i value_bytes;
-              i concurrency;
-              f1 (us_of_cycles dp50);
-              f1 (us_of_cycles dp99);
-              f1 (us_of_cycles hp50);
-              f1 (us_of_cycles hp99);
-              f2 (float_of_int hp50 /. float_of_int (max 1 dp50));
-              f1 (throughput_per_sec ~count:dn ~cycles:duration /. 1000.0);
-              f1 (throughput_per_sec ~count:hn ~cycles:duration /. 1000.0);
-              f2 duj;
-              f2 huj;
-            ])
-          [ 1; 4; 16 ])
+        List.map (fun concurrency -> (value_bytes, concurrency)) [ 1; 4; 16 ])
       [ 64; 1024 ]
+  in
+  (* Each direct and hosted run is an independent sim: 12 parallel tasks. *)
+  let results =
+    parallel_map
+      (fun f -> f ())
+      (List.concat_map
+         (fun (value_bytes, concurrency) ->
+           [ (fun () -> e2_direct ~value_bytes ~concurrency ~duration);
+             (fun () -> e2_hosted ~value_bytes ~concurrency ~duration) ])
+         combos)
+  in
+  let rec pair = function
+    | d :: h :: rest -> (d, h) :: pair rest
+    | _ -> []
+  in
+  let rows =
+    List.map2
+      (fun (value_bytes, concurrency) ((dp50, dp99, dn, duj), (hp50, hp99, hn, huj)) ->
+        [
+          i value_bytes;
+          i concurrency;
+          f1 (us_of_cycles dp50);
+          f1 (us_of_cycles dp99);
+          f1 (us_of_cycles hp50);
+          f1 (us_of_cycles hp99);
+          f2 (float_of_int hp50 /. float_of_int (max 1 dp50));
+          f1 (throughput_per_sec ~count:dn ~cycles:duration /. 1000.0);
+          f1 (throughput_per_sec ~count:hn ~cycles:duration /. 1000.0);
+          f2 duj;
+          f2 huj;
+        ])
+      combos (pair results)
   in
   table
     [ "val B"; "conc"; "direct p50us"; "p99us"; "hosted p50us"; "p99us";
@@ -422,17 +454,32 @@ let e3 () =
     (* Delivered flits per cycle per tile in the measured window. *)
     float_of_int (Mesh.packets_delivered mesh) *. 3.0 /. 30_000.0 /. float_of_int (n * n)
   in
+  let sizes = [ 2; 4; 6; 8 ] in
+  (* 12 independent sims (3 measurements x 4 mesh sizes); each task
+     returns its formatted cell, rows are assembled in order afterwards. *)
+  let cells =
+    parallel_map
+      (fun f -> f ())
+      (List.concat_map
+         (fun n ->
+           [ (fun () -> i (low_load_latency n Traffic.Uniform));
+             (fun () -> f2 (saturation n Traffic.Uniform));
+             (fun () ->
+               f2 (saturation n (Traffic.Hotspot (Coord.make (n / 2) (n / 2), 0.5))));
+           ])
+         sizes)
+  in
   let rows =
-    List.map
-      (fun n ->
+    List.mapi
+      (fun idx n ->
         [
           Printf.sprintf "%dx%d" n n;
           i (n * n);
-          i (low_load_latency n Traffic.Uniform);
-          f2 (saturation n Traffic.Uniform);
-          f2 (saturation n (Traffic.Hotspot (Coord.make (n / 2) (n / 2), 0.5)));
+          List.nth cells (3 * idx);
+          List.nth cells ((3 * idx) + 1);
+          List.nth cells ((3 * idx) + 2);
         ])
-      [ 2; 4; 6; 8 ]
+      sizes
   in
   table
     [ "mesh"; "tiles"; "p50 latency @ low load (cyc)";
@@ -617,12 +664,15 @@ let e4 () =
                          match r with
                          | Error _ -> ()
                          | Ok sconn ->
-                           Sim.add_ticker (Shell.sim sh) (fun () ->
+                           (* Flood + periodic side traffic: never
+                              quiescent, its drop counts are measured. *)
+                           Sim.add_clocked (Shell.sim sh) (fun () ->
                                Shell.send_data sh vconn ~opcode:1 ~cls:0
                                  (bytes_of 1024);
                                if Shell.now sh mod 100 = 0 then
                                  Shell.send_data sh sconn ~opcode:2 ~cls:1
-                                   (bytes_of 32)))))));
+                                   (bytes_of 32);
+                               Sim.Busy))))));
     (* Victim's real customer. *)
     let lat = Stats.Histogram.create "cust" in
     with_tile k ~tile:2 ~delay:500 (fun sh ->
@@ -941,25 +991,31 @@ let e7_run ~replicas ~pipeline ~duration =
 let e7 () =
   header "E7" "scale-out: replicated encoders behind a load balancer";
   let duration = 300_000 in
-  let sweep ~pipeline label =
+  let replicas = [ 1; 2; 4; 8 ] in
+  (* Both sweeps (4 replica counts each) run as one 8-way parallel batch;
+     tables render afterwards in the original order. *)
+  let counts ~pipeline =
+    parallel_map (fun r -> e7_run ~replicas:r ~pipeline ~duration) replicas
+  in
+  let sweep counts label =
     subhead label;
-    let base = max 1 (e7_run ~replicas:1 ~pipeline ~duration) in
+    let base = max 1 (List.hd counts) in
     let rows =
-      List.map
-        (fun r ->
-          let n = e7_run ~replicas:r ~pipeline ~duration in
+      List.map2
+        (fun r n ->
           [
             i r;
             i n;
             f1 (throughput_per_sec ~count:n ~cycles:duration /. 1000.0);
             f2 (float_of_int n /. float_of_int base);
           ])
-        [ 1; 2; 4; 8 ]
+        replicas counts
     in
     table [ "replicas"; "chunks"; "kchunks/s"; "speedup" ] rows
   in
-  sweep ~pipeline:false "E7a: standalone encoder replicas (pure scale-out)";
-  sweep ~pipeline:true
+  sweep (counts ~pipeline:false)
+    "E7a: standalone encoder replicas (pure scale-out)";
+  sweep (counts ~pipeline:true)
     "E7b: full pipeline, replicas share ONE compressor (Amdahl cap)";
   Printf.printf
     "\n(E7b's plateau is the shared third-party compressor saturating —\n composition makes the bottleneck stage visible and independently scalable)\n"

@@ -27,22 +27,29 @@ let registry =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [experiment ...]";
+  print_endline "usage: main.exe [--perf] [experiment ...]";
   print_endline "experiments:";
   List.iter (fun (id, (desc, _)) -> Printf.printf "  %-6s %s\n" id desc) registry;
-  print_endline "  all    run everything (default)"
+  print_endline "  all    run everything (default)";
+  print_endline "options:";
+  print_endline
+    "  --perf record wall time and simulated cycles/s per experiment into\n\
+    \         BENCH_perf.json (timing only; experiment output is unchanged)"
+
+let run_one (id, (_, f)) = Bench_util.timed id f ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] | _ :: [ "all" ] ->
-    List.iter (fun (_, (_, f)) -> f ()) registry
-  | _ :: args ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let perf, args = List.partition (fun a -> a = "--perf") args in
+  if perf <> [] then Bench_util.perf_enabled := true;
+  (match args with
+  | [] | [ "all" ] -> List.iter (fun e -> run_one e) registry
+  | args ->
     let bad = List.filter (fun a -> not (List.mem_assoc a registry)) args in
     if bad <> [] || List.mem "--help" args || List.mem "-h" args then usage ()
     else
-      List.iter
-        (fun a ->
-          let _, f = List.assoc a registry in
-          f ())
-        args
-  | [] -> usage ()
+      List.iter (fun a -> run_one (a, List.assoc a registry)) args);
+  (* Nothing ran (e.g. bad experiment name): don't clobber a previous
+     perf record with an empty one. *)
+  if !Bench_util.perf_enabled && !Bench_util.perf_records <> [] then
+    Bench_util.write_perf_json "BENCH_perf.json"

@@ -29,7 +29,11 @@ let arm sh plan =
             | Error _ -> ()
             | Ok conn ->
               let junk = Rng.bytes (Shell.rng sh) payload_bytes in
-              Sim.add_ticker sim (fun () -> Shell.send_data sh conn ~opcode:0xF1 junk)))
+              (* A flood is never quiescent: even when its pushes fail the
+                 drop counters advance, so it must run every cycle. *)
+              Sim.add_clocked sim (fun () ->
+                  Shell.send_data sh conn ~opcode:0xF1 junk;
+                  Sim.Busy)))
   | Mem_stomp_at { at; addr; len } ->
     at_cycle at (fun () ->
         let forged = { Shell.mcap = 0; base = addr; len } in

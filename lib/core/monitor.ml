@@ -616,16 +616,37 @@ let watchdog t =
         (Printf.sprintf "watchdog: accelerator hung for %d cycles" t.hang_cycles)
   end
 
+let egress_pending t =
+  let n = Array.length t.egress in
+  let rec go c = c < n && (not (Fifo.is_empty t.egress.(c)) || go (c + 1)) in
+  go 0
+
 let tick t =
   match t.m_state with
-  | Draining _ | Offline -> ()
+  | Draining _ | Offline -> Sim.Idle
   | Running ->
-    process_egress t;
-    deliver_one t;
-    (match t.behavior.on_tick with
-    | Some f when now t >= t.busy_until -> f t
-    | Some _ | None -> ());
-    watchdog t
+    if
+      t.behavior.on_tick = None
+      && Queue.is_empty t.rx
+      && not (egress_pending t)
+    then begin
+      (* Nothing queued anywhere: process_egress and deliver_one would be
+         no-ops and the watchdog would reset (rx is empty) — mirror that
+         reset so skipped cycles are indistinguishable from executed ones.
+         Staged-but-uncommitted egress keeps the sim non-quiescent via the
+         dirty-FIFO list, so it cannot be jumped over. *)
+      if t.cfg.watchdog > 0 then t.hang_cycles <- 0;
+      Sim.Idle
+    end
+    else begin
+      process_egress t;
+      deliver_one t;
+      (match t.behavior.on_tick with
+      | Some f when now t >= t.busy_until -> f t
+      | Some _ | None -> ());
+      watchdog t;
+      Sim.Busy
+    end
 
 let create sim ~tile cfg fabric ~trace ~privileged behavior =
   let t =
@@ -665,7 +686,7 @@ let create sim ~tile cfg fabric ~trace ~privileged behavior =
       hang_cycles = 0;
     }
   in
-  Sim.add_ticker sim (fun () -> tick t);
+  Sim.add_clocked sim (fun () -> tick t);
   (* Capture the behavior now: if the slot is reprogrammed before boot
      fires, the stale boot must not run the new behavior a second time. *)
   Sim.after sim 1 (fun () -> if t.behavior == behavior then behavior.on_boot t);

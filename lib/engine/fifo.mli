@@ -9,8 +9,11 @@
 type 'a t
 
 val create : Sim.t -> ?capacity:int -> string -> 'a t
-(** [create sim ~capacity name] registers the FIFO's commit step with
-    [sim]. Default capacity is unbounded. *)
+(** [create sim ~capacity name] makes a FIFO whose staged pushes commit
+    in [sim]'s commit phase. The FIFO enlists itself in the simulator's
+    dirty list on its first staged push of a cycle ({!Sim.mark_dirty}),
+    so a cycle's commit cost is O(FIFOs written), not O(FIFOs alive).
+    Default capacity is unbounded. *)
 
 val name : 'a t -> string
 val capacity : 'a t -> int
@@ -25,7 +28,15 @@ val push_exn : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 (** Take the oldest committed value. *)
 
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Queue.Empty] instead of allocating an
+    option. Check {!is_empty} first on hot paths. *)
+
 val peek : 'a t -> 'a option
+
+val peek_exn : 'a t -> 'a
+(** Like {!peek} but raises [Queue.Empty] instead of allocating an
+    option. Check {!is_empty} first on hot paths. *)
 
 val length : 'a t -> int
 (** Committed entries only (what a consumer can see this cycle). *)

@@ -39,19 +39,28 @@ let exponential t ~mean =
   -.mean *. log u
 
 (* Zipf via the Gray et al. quick method used in YCSB: precompute zeta
-   lazily per (n, theta) pair and cache it. *)
+   lazily per (n, theta) pair and cache it. The cache is shared across
+   sims, so it is mutex-guarded: sims may run on parallel domains and a
+   bare Hashtbl would race. The cached value is a pure function of the
+   key, so contention only costs time, never determinism. *)
 let zeta_cache : (int * float, float) Hashtbl.t = Hashtbl.create 7
+let zeta_lock = Mutex.create ()
 
 let zeta n theta =
-  match Hashtbl.find_opt zeta_cache (n, theta) with
-  | Some z -> z
-  | None ->
-    let z = ref 0.0 in
-    for i = 1 to n do
-      z := !z +. (1.0 /. Float.pow (float_of_int i) theta)
-    done;
-    Hashtbl.replace zeta_cache (n, theta) !z;
-    !z
+  Mutex.lock zeta_lock;
+  let z =
+    match Hashtbl.find_opt zeta_cache (n, theta) with
+    | Some z -> z
+    | None ->
+      let z = ref 0.0 in
+      for i = 1 to n do
+        z := !z +. (1.0 /. Float.pow (float_of_int i) theta)
+      done;
+      Hashtbl.replace zeta_cache (n, theta) !z;
+      !z
+  in
+  Mutex.unlock zeta_lock;
+  z
 
 let zipf t ~n ~theta =
   assert (n > 0);

@@ -1,49 +1,75 @@
+type activity = Busy | Idle | Idle_until of int
+
 type event = { time : int; seq : int; fn : unit -> unit }
 
 type t = {
   mutable clock : int;
   events : event Heap.t;
   mutable next_seq : int;
-  mutable tickers : (unit -> unit) array;
+  mutable tickers : (unit -> activity) array;
   mutable n_tickers : int;
   mutable committers : (unit -> unit) array;
   mutable n_committers : int;
+  mutable dirty_fns : (unit -> unit) array;
+  mutable n_dirty : int;
   mutable stop_requested : bool;
   mutable in_event_phase : bool;
+  mutable in_tick_phase : bool;
+  mutable quiescent : bool;
+  mutable next_wake : int;
+  mutable skipped : int;
 }
 
 let cmp_event a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
+(* Total simulated cycles advanced (executed + fast-forwarded) across all
+   simulator instances, including instances driven from other domains —
+   the numerator of the bench harness's cycles/second figure. *)
+let global = Atomic.make 0
+let total_cycles () = Atomic.get global
+
 let create () =
   {
     clock = 0;
     events = Heap.create ~cmp:cmp_event;
     next_seq = 0;
-    tickers = Array.make 8 (fun () -> ());
+    tickers = Array.make 8 (fun () -> Idle);
     n_tickers = 0;
     committers = Array.make 8 (fun () -> ());
     n_committers = 0;
+    dirty_fns = Array.make 8 (fun () -> ());
+    n_dirty = 0;
     stop_requested = false;
     in_event_phase = false;
+    in_tick_phase = false;
+    quiescent = false;
+    next_wake = max_int;
+    skipped = 0;
   }
 
 let now t = t.clock
+let cycles_skipped t = t.skipped
+let wake t = t.quiescent <- false
+
+(* A target equal to the current cycle is kept only while that cycle's
+   event phase is still open (it has not started, or we are inside it);
+   from the ticker/commit phases the event phase has already passed, so
+   the event is deferred to the next cycle. *)
+let schedule_time t time =
+  if time = t.clock && t.in_tick_phase then time + 1 else time
 
 let at t time fn =
-  if time < t.clock || (time = t.clock && not t.in_event_phase) then
+  if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %d not schedulable at cycle %d" time t.clock);
-  Heap.push t.events { time; seq = t.next_seq; fn };
+  Heap.push t.events { time = schedule_time t time; seq = t.next_seq; fn };
   t.next_seq <- t.next_seq + 1
 
 let after t d fn =
   assert (d >= 0);
-  let time = t.clock + d in
-  let time = if time = t.clock && not t.in_event_phase then time + 1 else time in
-  Heap.push t.events { time; seq = t.next_seq; fn };
-  t.next_seq <- t.next_seq + 1
+  at t (t.clock + d) fn
 
 let every t ?start period fn =
   assert (period > 0);
@@ -61,7 +87,7 @@ let every t ?start period fn =
 
 let push_fn arr n fn =
   let arr = if n >= Array.length arr then begin
-      let narr = Array.make (Array.length arr * 2) (fun () -> ()) in
+      let narr = Array.make (Array.length arr * 2) fn in
       Array.blit arr 0 narr 0 n;
       narr
     end else arr
@@ -69,13 +95,22 @@ let push_fn arr n fn =
   arr.(n) <- fn;
   arr
 
-let add_ticker t fn =
+let add_clocked t fn =
   t.tickers <- push_fn t.tickers t.n_tickers fn;
-  t.n_tickers <- t.n_tickers + 1
+  t.n_tickers <- t.n_tickers + 1;
+  t.quiescent <- false
+
+let add_ticker t fn = add_clocked t (fun () -> fn (); Busy)
 
 let add_committer t fn =
   t.committers <- push_fn t.committers t.n_committers fn;
-  t.n_committers <- t.n_committers + 1
+  t.n_committers <- t.n_committers + 1;
+  t.quiescent <- false
+
+let mark_dirty t fn =
+  t.dirty_fns <- push_fn t.dirty_fns t.n_dirty fn;
+  t.n_dirty <- t.n_dirty + 1;
+  t.quiescent <- false
 
 let run_due_events t =
   t.in_event_phase <- true;
@@ -93,12 +128,32 @@ let run_due_events t =
 
 let step t =
   run_due_events t;
-  for i = 0 to t.n_tickers - 1 do
-    t.tickers.(i) ()
+  t.in_tick_phase <- true;
+  let all_idle = ref true in
+  let wake_at = ref max_int in
+  (* Snapshot: a ticker registered during this phase starts next cycle
+     (registration also clears [quiescent], so no wake-up is missed). *)
+  let tickers = t.tickers and n = t.n_tickers in
+  for i = 0 to n - 1 do
+    match tickers.(i) () with
+    | Busy -> all_idle := false
+    | Idle -> ()
+    | Idle_until w -> if w < !wake_at then wake_at := w
   done;
+  let committed = t.n_dirty > 0 in
+  (* Live loop: commit functions must not stage new two-phase writes. *)
+  let i = ref 0 in
+  while !i < t.n_dirty do
+    t.dirty_fns.(!i) ();
+    incr i
+  done;
+  t.n_dirty <- 0;
   for i = 0 to t.n_committers - 1 do
     t.committers.(i) ()
   done;
+  t.in_tick_phase <- false;
+  t.quiescent <- !all_idle && (not committed) && t.n_committers = 0;
+  t.next_wake <- !wake_at;
   t.clock <- t.clock + 1
 
 let stop t = t.stop_requested <- true
@@ -106,16 +161,26 @@ let stopped t = t.stop_requested
 
 let run_until t time =
   t.stop_requested <- false;
+  let entry_clock = t.clock in
   while t.clock < time && not t.stop_requested do
-    (* Fast-forward across idle gaps when there are no clocked components. *)
-    if t.n_tickers = 0 && t.n_committers = 0 then begin
+    (* Fast-forward across gaps where every clocked component is
+       quiescent and no two-phase state is pending commit: jump to the
+       next heap event or the earliest Idle_until wake-up. *)
+    if t.quiescent then begin
       let next =
-        match Heap.peek t.events with Some e -> e.time | None -> time
+        match Heap.peek t.events with
+        | Some e -> min e.time t.next_wake
+        | None -> t.next_wake
       in
-      if next > t.clock then t.clock <- min next time
+      let next = min next time in
+      if next > t.clock then begin
+        t.skipped <- t.skipped + (next - t.clock);
+        t.clock <- next
+      end
     end;
     if t.clock < time then step t
-  done
+  done;
+  ignore (Atomic.fetch_and_add global (t.clock - entry_clock))
 
 let run_for t n = run_until t (t.clock + n)
 let pending_events t = Heap.length t.events

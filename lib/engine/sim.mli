@@ -7,16 +7,44 @@
       order — used for timed completions (DRAM, timeouts, link delays);
     + {b tickers} run in registration order — clocked components
       (routers, monitors, accelerators) do their per-cycle work;
-    + {b committers} run in registration order — two-phase state such as
-      {!Fifo} moves staged writes into visible state, so phase-2 components
-      never observe values written in the same cycle regardless of their
-      relative order.
+    + {b commit} — two-phase state such as {!Fifo} moves staged writes
+      into visible state, so phase-2 components never observe values
+      written in the same cycle regardless of their relative order.
 
     This mirrors registered (flip-flop) hardware semantics: every
     producer→consumer hop costs at least one cycle, and results do not
-    depend on component registration order. *)
+    depend on component registration order.
+
+    {2 Quiescence and idle fast-forward}
+
+    Clocked components registered with {!add_clocked} report an
+    {!activity} after each tick. When a cycle ends with every clocked
+    component idle, nothing committed, and no always-run committers
+    registered, the simulator is {e quiescent}: ticking further cycles
+    would be a pure no-op until the next heap event (or the earliest
+    [Idle_until] wake-up) fires. [run_until] then jumps the clock
+    directly to that point instead of stepping through dead cycles.
+    Skipped cycles are observationally identical to executed ones, so a
+    run remains a pure function of its inputs (bit-identical results,
+    same event order, same RNG streams).
+
+    The contract for an [Idle] report: until the next event phase runs or
+    a two-phase commit occurs, calling this ticker again would change no
+    state. Components that consume entropy or count every cycle (traffic
+    generators, watchdogs with pending work) must report [Busy]. *)
 
 type t
+
+(** What a clocked component reports after its tick. *)
+type activity =
+  | Busy  (** Did work, or may do work next cycle — keep stepping. *)
+  | Idle
+      (** No work possible until an event fires or a FIFO commit occurs;
+          the simulator may fast-forward past this component. *)
+  | Idle_until of int
+      (** Like [Idle], but the component can act on its own at the given
+          cycle (timer expiry, token-bucket refill) even without external
+          stimulus. *)
 
 val create : unit -> t
 
@@ -24,33 +52,60 @@ val now : t -> int
 (** Current cycle. *)
 
 val at : t -> int -> (unit -> unit) -> unit
-(** [at t time f] runs [f] in the event phase of cycle [time].
-    [time] must not be in the past. *)
+(** [at t time f] runs [f] in the event phase of cycle [time]. A [time]
+    in the past raises [Invalid_argument]. A [time] equal to the current
+    cycle is honoured while that cycle's event phase is still open
+    (before the cycle starts executing, or from within the event phase);
+    once the event phase has completed — i.e. when scheduling from a
+    ticker or the commit phase — it is deferred to the next cycle. *)
 
 val after : t -> int -> (unit -> unit) -> unit
-(** [after t d f] is [at t (now t + d) f]; [d >= 0]. A delay of [0] runs
-    in the event phase of the current cycle if that phase has not finished,
-    otherwise in the next cycle. *)
+(** [after t d f] is exactly [at t (now t + d) f]; [d >= 0]. In
+    particular [after t 0 f] follows {!at}'s current-cycle rule: it runs
+    this cycle if the event phase is still open, otherwise next cycle. *)
 
 val every : t -> ?start:int -> int -> (unit -> unit) -> unit
 (** [every t ~start period f] runs [f] in the event phase each [period]
     cycles, first at cycle [start] (default: next multiple of [period]). *)
 
+val add_clocked : t -> (unit -> activity) -> unit
+(** Register a per-cycle clocked component (phase 2). The callback runs
+    every executed cycle and reports its {!activity}; reports drive the
+    idle fast-forward (see module docs). *)
+
 val add_ticker : t -> (unit -> unit) -> unit
-(** Register a per-cycle ticker (phase 2). *)
+(** [add_ticker t f] is [add_clocked t (fun () -> f (); Busy)]: a legacy
+    always-active ticker. Its presence disables idle fast-forward, since
+    the simulator must assume it does work every cycle. *)
 
 val add_committer : t -> (unit -> unit) -> unit
-(** Register a per-cycle committer (phase 3). *)
+(** Register an always-run commit step (phase 3). Prefer {!mark_dirty}:
+    a registered committer runs every cycle {e and} disables idle
+    fast-forward. *)
+
+val mark_dirty : t -> (unit -> unit) -> unit
+(** [mark_dirty t commit] schedules [commit] to run once, in this
+    cycle's commit phase (or the next commit phase to execute, if called
+    outside a cycle). Two-phase containers call this on their first
+    staged write of a cycle; the commit phase then walks only dirty
+    containers — O(containers written) rather than O(all containers).
+    [commit] must not stage new two-phase writes. *)
+
+val wake : t -> unit
+(** Clear the quiescent flag. Components mutated directly from outside
+    the simulation loop (e.g. {!Nic.send} between runs) call this so the
+    next [run_until] cannot fast-forward past the new work. FIFO pushes
+    wake the simulator automatically via {!mark_dirty}. *)
 
 val step : t -> unit
-(** Advance exactly one cycle. *)
+(** Advance exactly one cycle (never fast-forwards). *)
 
 val run_until : t -> int -> unit
 (** Run cycles until [now t = time] (exclusive of the target cycle's
-    execution). *)
+    execution), fast-forwarding across quiescent gaps. *)
 
 val run_for : t -> int -> unit
-(** [run_for t n] executes [n] cycles. *)
+(** [run_for t n] advances [n] cycles. *)
 
 val stop : t -> unit
 (** Request that the enclosing [run_until]/[run_for] return at the end of
@@ -60,3 +115,13 @@ val stopped : t -> bool
 
 val pending_events : t -> int
 (** Number of scheduled future events (for tests). *)
+
+val cycles_skipped : t -> int
+(** Cycles fast-forwarded (not executed) since creation — for tests and
+    perf reporting. *)
+
+val total_cycles : unit -> int
+(** Simulated cycles advanced across {e all} simulator instances in the
+    process (atomic; safe under domain-parallel sweeps). Executed and
+    skipped cycles both count: this is simulated time, the numerator of
+    cycles/second. *)

@@ -94,8 +94,20 @@ let wire t =
         for v = 0 to t.cfg.vcs - 1 do
           let dest = Router.input_chan nr (Port.opposite p) v in
           Router.connect r ~port:p ~vc:v ~dest ~credits:t.cfg.depth;
+          (* Batch the cycle's credit returns through the commit phase
+             instead of one heap event per popped flit. Credits are only
+             read during the tick phase, so applying them at commit of
+             cycle [T] is indistinguishable from an event at [T+1]. *)
+          let pending = ref 0 in
+          let drain () =
+            let n = !pending in
+            pending := 0;
+            for _ = 1 to n do Router.credit r ~port:p ~vc:v done
+          in
           dest.Router.on_pop <-
-            (fun () -> Sim.after t.sim 1 (fun () -> Router.credit r ~port:p ~vc:v))
+            (fun () ->
+              if !pending = 0 then Sim.mark_dirty t.sim drain;
+              incr pending)
         done
     in
     List.iter wire_dir link_dirs

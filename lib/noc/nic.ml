@@ -4,11 +4,13 @@ module Fifo = Apiary_engine.Fifo
 type 'a inflight = { pkt : 'a Packet.t; mutable next_idx : int }
 
 type 'a t = {
+  sim : Sim.t;
   router : 'a Router.t;
   qos : bool;
   tx : 'a Packet.t Queue.t array;  (* per class *)
   cur : 'a inflight option array;  (* per class *)
   eject : 'a Router.chan array;  (* per VC *)
+  ej_occ : int ref;  (* flits staged or buffered across ejection channels *)
   mutable rx_cb : 'a Packet.t -> unit;
   mutable injected : int;
   mutable delivered : int;
@@ -21,7 +23,11 @@ let clamp t cls =
   let v = Router.vcs t.router in
   if cls >= v then v - 1 else if cls < 0 then 0 else cls
 
-let send t pkt = Queue.add pkt t.tx.(clamp t pkt.Packet.cls)
+let send t pkt =
+  Queue.add pkt t.tx.(clamp t pkt.Packet.cls);
+  (* Sends can arrive from outside the simulation loop (driver code
+     between runs); make sure fast-forward cannot jump past them. *)
+  Sim.wake t.sim
 
 let set_rx t cb = t.rx_cb <- cb
 
@@ -43,15 +49,17 @@ let delivered t = t.delivered
 let pick_class t =
   let n = Array.length t.tx in
   let ready c = t.cur.(c) <> None || not (Queue.is_empty t.tx.(c)) in
-  let order =
-    if t.qos then List.init n (fun i -> n - 1 - i)
-    else List.init n (fun i -> (t.rr_cls + i) mod n)
+  let rec find k =
+    if k >= n then None
+    else
+      let c = if t.qos then n - 1 - k else (t.rr_cls + k) mod n in
+      if ready c then begin
+        if not t.qos then t.rr_cls <- (c + 1) mod n;
+        Some c
+      end
+      else find (k + 1)
   in
-  match List.find_opt ready order with
-  | None -> None
-  | Some c ->
-    if not t.qos then t.rr_cls <- (c + 1) mod n;
-    Some c
+  find 0
 
 let inject t =
   match pick_class t with
@@ -67,8 +75,12 @@ let inject t =
         inf
     in
     let chan = Router.input_chan t.router Port.Local c in
-    let flit = { Packet.Flit.pkt = inf.pkt; idx = inf.next_idx } in
-    if Fifo.push chan.buf flit then begin
+    (* Don't allocate the flit when the channel is full (the common case
+       at saturation); pick_class has already advanced rr_cls, exactly as
+       on the failed-push path. *)
+    if not (Fifo.is_full chan.Router.buf) then begin
+      let flit = { Packet.Flit.pkt = inf.pkt; idx = inf.next_idx } in
+      Router.chan_push_exn chan flit;
       inf.next_idx <- inf.next_idx + 1;
       if inf.next_idx >= inf.pkt.Packet.size_flits then begin
         t.cur.(c) <- None;
@@ -84,27 +96,46 @@ let eject t =
     end
   in
   Array.iter
-    (fun chan -> match Router.chan_pop chan with None -> () | Some f -> deliver f)
+    (fun chan ->
+      if not (Fifo.is_empty chan.Router.buf) then
+        deliver (Router.chan_pop_exn chan))
     t.eject
 
+let has_tx t =
+  let n = Array.length t.tx in
+  let rec go c =
+    c < n && (t.cur.(c) <> None || not (Queue.is_empty t.tx.(c)) || go (c + 1))
+  in
+  go 0
+
 let tick t =
-  inject t;
-  eject t
+  let txw = has_tx t in
+  let ejw = !(t.ej_occ) > 0 in
+  if not (txw || ejw) then Sim.Idle
+  else begin
+    if txw then inject t;
+    if ejw then eject t;
+    Sim.Busy
+  end
 
 let create sim ~router ~depth ~qos =
   let vcs = Router.vcs router in
   let c = Router.coord router in
+  let ej_occ = ref 0 in
   let eject =
     Array.init vcs (fun v ->
-        Router.make_chan sim ~depth (Printf.sprintf "nic%s.ej.%d" (Coord.to_string c) v))
+        Router.make_chan ~counter:ej_occ sim ~depth
+          (Printf.sprintf "nic%s.ej.%d" (Coord.to_string c) v))
   in
   let t =
     {
+      sim;
       router;
       qos;
       tx = Array.init vcs (fun _ -> Queue.create ());
       cur = Array.make vcs None;
       eject;
+      ej_occ;
       rx_cb = (fun _ -> ());
       injected = 0;
       delivered = 0;
@@ -116,7 +147,17 @@ let create sim ~router ~depth ~qos =
   Array.iteri
     (fun v chan ->
       Router.connect router ~port:Port.Local ~vc:v ~dest:chan ~credits:depth;
-      chan.Router.on_pop <- (fun () -> Sim.after sim 1 (fun () -> Router.credit router ~port:Port.Local ~vc:v)))
+      (* Credit returns batched through the commit phase; see Mesh.wire. *)
+      let pending = ref 0 in
+      let drain () =
+        let n = !pending in
+        pending := 0;
+        for _ = 1 to n do Router.credit router ~port:Port.Local ~vc:v done
+      in
+      chan.Router.on_pop <-
+        (fun () ->
+          if !pending = 0 then Sim.mark_dirty sim drain;
+          incr pending))
     eject;
-  Sim.add_ticker sim (fun () -> tick t);
+  Sim.add_clocked sim (fun () -> tick t);
   t

@@ -8,13 +8,15 @@ type 'a t = {
   injected_at : int;
 }
 
-let next_id = ref 0
+(* Atomic so independent sims can run in parallel domains; ids are only
+   required to be unique, never dense or ordered. *)
+let next_id = Atomic.make 0
 
 let make ~src ~dst ~cls ~size_flits ~payload ~now =
   assert (size_flits >= 1);
   assert (cls >= 0);
-  incr next_id;
-  { id = !next_id; src; dst; cls; size_flits; payload; injected_at = now }
+  let id = 1 + Atomic.fetch_and_add next_id 1 in
+  { id; src; dst; cls; size_flits; payload; injected_at = now }
 
 let flits_for ~flit_bytes ~payload_bytes =
   assert (flit_bytes > 0);

@@ -1,6 +1,8 @@
 type t = Local | North | East | South | West
 
 let all = [ Local; North; East; South; West ]
+let all_arr = [| Local; North; East; South; West |]
+let of_index i = all_arr.(i)
 
 let opposite = function
   | Local -> Local

@@ -5,6 +5,13 @@ type t = Local | North | East | South | West
 val all : t list
 (** All five ports, [Local] first. *)
 
+val all_arr : t array
+(** Same as {!all}, as an array for O(1) indexing on hot paths. Do not
+    mutate. *)
+
+val of_index : int -> t
+(** Inverse of {!index}; raises on out-of-range. *)
+
 val opposite : t -> t
 (** Mirror direction; [opposite Local = Local]. *)
 

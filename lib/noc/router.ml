@@ -4,17 +4,31 @@ module Sim = Apiary_engine.Sim
 type 'a chan = {
   buf : 'a Packet.Flit.t Fifo.t;
   mutable on_pop : unit -> unit;
+  occ : int ref;  (* owner's aggregate occupancy counter (staged + committed) *)
 }
 
-let make_chan sim ~depth name =
-  { buf = Fifo.create sim ~capacity:depth name; on_pop = (fun () -> ()) }
+let make_chan ?(counter = ref 0) sim ~depth name =
+  { buf = Fifo.create sim ~capacity:depth name; on_pop = (fun () -> ()); occ = counter }
+
+let chan_push c f =
+  if Fifo.push c.buf f then begin
+    incr c.occ;
+    true
+  end
+  else false
+
+let chan_push_exn c f =
+  if not (chan_push c f) then
+    failwith (Printf.sprintf "Router.chan_push_exn: %s full" (Fifo.name c.buf))
+
+let chan_pop_exn c =
+  let f = Fifo.pop_exn c.buf in
+  decr c.occ;
+  c.on_pop ();
+  f
 
 let chan_pop c =
-  match Fifo.pop c.buf with
-  | None -> None
-  | Some f ->
-    c.on_pop ();
-    Some f
+  if Fifo.is_empty c.buf then None else Some (chan_pop_exn c)
 
 type 'a output = {
   mutable dest : 'a chan option;
@@ -33,6 +47,17 @@ type 'a t = {
       (* per input [port][vc]: allocated (output port index, vc) *)
   rr : int array;  (* rotating arbitration pointer per output port *)
   port_used : bool array;  (* input port crossbar slot used this cycle *)
+  in_occ : int ref;  (* flits staged or buffered across all input channels *)
+  (* Per-cycle scratch. Each occupied slot has at most one output port it
+     can want this cycle (its allocation, or its head flit's route), so we
+     classify slots into per-output-port candidate lists once per tick and
+     arbitration scans only its own list. *)
+  cand : int array array;  (* [output port] -> candidate slots *)
+  n_cand : int array;
+  slot_cls : int array;  (* head flit's class per slot (QoS priority key) *)
+  slot_ov : int array;  (* requested output vc per slot *)
+  slot_p : int array;  (* slot -> input port index (avoids hot-path div) *)
+  slot_v : int array;  (* slot -> input vc *)
   mutable flits_routed : int;
   mutable busy_cycles : int;
 }
@@ -55,66 +80,99 @@ let busy_cycles t = t.busy_cycles
 
 let clamp_cls t cls = if cls >= t.vcs then t.vcs - 1 else if cls < 0 then 0 else cls
 
-(* Find the input (port, vc) that should win output port [op] this cycle.
-   Returns (input port index, vc, output vc, flit). *)
+(* Classify every input slot with a committed flit into the candidate
+   list of the one output port it can want this cycle: its allocated
+   output mid-packet, or its head flit's routing decision. Output-side
+   conditions (owner, credits, wiring) are checked at arbitration time,
+   when that port's state is current. Classification happens before any
+   routing, so the recorded class/output-vc stay valid for every slot
+   whose input port has not been used (route_one marks used ports, which
+   arbitration re-checks and skips). *)
+let classify t =
+  Array.fill t.n_cand 0 Port.count 0;
+  for p = 0 to Port.count - 1 do
+    let row = t.inputs.(p) in
+    for v = 0 to t.vcs - 1 do
+      let buf = row.(v).buf in
+      if not (Fifo.is_empty buf) then begin
+        let flit = Fifo.peek_exn buf in
+        let target =
+          match t.alloc.(p).(v) with
+          | Some (op', ov) -> Some (op', ov)
+          | None ->
+            if Packet.Flit.is_head flit then
+              let want = Routing.next_port t.routing ~at:t.coord ~dst:flit.pkt.dst in
+              Some (Port.index want, clamp_cls t flit.pkt.cls)
+            else None  (* body flit with no allocation: blocked this cycle *)
+        in
+        match target with
+        | None -> ()
+        | Some (op_i, ov) ->
+          let slot = (p * t.vcs) + v in
+          t.slot_cls.(slot) <- flit.pkt.cls;
+          t.slot_ov.(slot) <- ov;
+          t.cand.(op_i).(t.n_cand.(op_i)) <- slot;
+          t.n_cand.(op_i) <- t.n_cand.(op_i) + 1
+      end
+    done
+  done
+
+(* Find the input slot that should win output port [op] this cycle among
+   its classified candidates. Returns the slot index, or -1 when no
+   candidate is admissible. Candidate keys are distinct, so the winner is
+   the same one the full slot scan would pick. Allocation-free: the
+   winner's flit is re-peeked by [route_one]. *)
 let arbitrate t op =
   let op_i = Port.index op in
   let nslots = Port.count * t.vcs in
-  let best = ref None in
+  let best = ref (-1) in
   let best_key = ref min_int in
-  let consider slot =
-    let p = slot / t.vcs and v = slot mod t.vcs in
-    if not t.port_used.(p) then begin
-      match Fifo.peek t.inputs.(p).(v).buf with
-      | None -> ()
-      | Some flit ->
-        let candidate_ov =
-          match t.alloc.(p).(v) with
-          | Some (op', ov) -> if op' = op_i && t.outputs.(op_i).(ov).credits > 0 then Some ov else None
-          | None ->
-            if Packet.Flit.is_head flit then begin
-              let want = Routing.next_port t.routing ~at:t.coord ~dst:flit.pkt.dst in
-              if want = op then begin
-                let ov = clamp_cls t flit.pkt.cls in
-                let o = t.outputs.(op_i).(ov) in
-                if o.owner = None && o.credits > 0 && o.dest <> None then Some ov
-                else None
-              end
-              else None
-            end
-            else None
+  let cand = t.cand.(op_i) in
+  for k = 0 to t.n_cand.(op_i) - 1 do
+    let slot = Array.unsafe_get cand k in
+    let p = Array.unsafe_get t.slot_p slot and v = Array.unsafe_get t.slot_v slot in
+    if not (Array.unsafe_get t.port_used p) then begin
+      let ov = Array.unsafe_get t.slot_ov slot in
+      let o = t.outputs.(op_i).(ov) in
+      let admissible =
+        match t.alloc.(p).(v) with
+        | Some _ -> o.credits > 0
+        | None -> o.owner = None && o.credits > 0 && o.dest <> None
+      in
+      if admissible then begin
+        (* Priority key: class when QoS is on, then rotating order.
+           [slot - rr] is in (-nslots, nslots), so one conditional add
+           replaces the mod. *)
+        let rot = slot - t.rr.(op_i) in
+        let rot = if rot < 0 then rot + nslots else rot in
+        let key =
+          if t.qos then (Array.unsafe_get t.slot_cls slot * nslots * 2) - rot
+          else -rot
         in
-        match candidate_ov with
-        | None -> ()
-        | Some ov ->
-          (* Priority key: class when QoS is on, then rotating order. *)
-          let rot = (slot - t.rr.(op_i) + nslots) mod nslots in
-          let key = if t.qos then (flit.pkt.cls * nslots * 2) - rot else -rot in
-          if !best = None || key > !best_key then begin
-            best := Some (p, v, ov, flit);
-            best_key := key
-          end
+        if !best < 0 || key > !best_key then begin
+          best := slot;
+          best_key := key
+        end
+      end
     end
-  in
-  for slot = 0 to nslots - 1 do
-    consider slot
   done;
   !best
 
 let route_one t op =
-  match arbitrate t op with
-  | None -> false
-  | Some (p, v, ov, flit) ->
+  let slot = arbitrate t op in
+  if slot < 0 then false
+  else begin
     let op_i = Port.index op in
+    let p = t.slot_p.(slot) and v = t.slot_v.(slot) in
+    let ov = t.slot_ov.(slot) in
     let o = t.outputs.(op_i).(ov) in
-    let popped = chan_pop t.inputs.(p).(v) in
-    assert (popped <> None);
+    let flit = chan_pop_exn t.inputs.(p).(v) in
     if Packet.Flit.is_head flit then begin
       t.alloc.(p).(v) <- Some (op_i, ov);
       o.owner <- Some (p, v)
     end;
     (match o.dest with
-    | Some d -> Fifo.push_exn d.buf flit
+    | Some d -> chan_push_exn d flit
     | None -> assert false);
     o.credits <- o.credits - 1;
     if Packet.Flit.is_tail flit then begin
@@ -125,22 +183,32 @@ let route_one t op =
     t.rr.(op_i) <- ((p * t.vcs) + v + 1) mod (Port.count * t.vcs);
     t.flits_routed <- t.flits_routed + 1;
     true
+  end
 
 let tick t =
-  Array.fill t.port_used 0 Port.count false;
-  let moved = ref false in
-  let do_port op = if route_one t op then moved := true in
-  List.iter do_port Port.all;
-  if !moved then t.busy_cycles <- t.busy_cycles + 1
+  (* Quiescent router: no flit staged or buffered in any input channel,
+     so arbitration over every output port would come up empty. *)
+  if !(t.in_occ) = 0 then Sim.Idle
+  else begin
+    Array.fill t.port_used 0 Port.count false;
+    classify t;
+    let moved = ref false in
+    for pi = 0 to Port.count - 1 do
+      if t.n_cand.(pi) > 0 && route_one t Port.all_arr.(pi) then moved := true
+    done;
+    if !moved then t.busy_cycles <- t.busy_cycles + 1;
+    if !(t.in_occ) = 0 then Sim.Idle else Sim.Busy
+  end
 
 let create sim ~coord ~vcs ~depth ~routing ~qos =
   assert (vcs >= 1);
   assert (depth >= 1);
+  let in_occ = ref 0 in
   let mk_inputs p =
     Array.init vcs (fun v ->
-        make_chan sim ~depth
+        make_chan ~counter:in_occ sim ~depth
           (Printf.sprintf "r%s.in.%s.%d" (Coord.to_string coord)
-             (Port.to_string (List.nth Port.all p))
+             (Port.to_string Port.all_arr.(p))
              v))
   in
   let t =
@@ -156,9 +224,16 @@ let create sim ~coord ~vcs ~depth ~routing ~qos =
       alloc = Array.init Port.count (fun _ -> Array.make vcs None);
       rr = Array.make Port.count 0;
       port_used = Array.make Port.count false;
+      in_occ;
+      cand = Array.init Port.count (fun _ -> Array.make (Port.count * vcs) 0);
+      n_cand = Array.make Port.count 0;
+      slot_cls = Array.make (Port.count * vcs) 0;
+      slot_ov = Array.make (Port.count * vcs) 0;
+      slot_p = Array.init (Port.count * vcs) (fun s -> s / vcs);
+      slot_v = Array.init (Port.count * vcs) (fun s -> s mod vcs);
       flits_routed = 0;
       busy_cycles = 0;
     }
   in
-  Sim.add_ticker sim (fun () -> tick t);
+  Sim.add_clocked sim (fun () -> tick t);
   t

@@ -18,17 +18,36 @@ module Sim := Apiary_engine.Sim
 
 (** A buffered flit channel: a router input buffer or a NIC ejection
     buffer. [on_pop] is invoked each time a flit is drained, and is wired
-    by {!Mesh} to return a credit upstream. *)
+    by {!Mesh} to return a credit upstream. [occ] points at the owning
+    component's aggregate occupancy counter (staged + committed flits
+    across all of its channels), which lets the owner's tick return
+    immediately when it holds no flits. *)
 type 'a chan = {
   buf : 'a Packet.Flit.t Fifo.t;
   mutable on_pop : unit -> unit;
+  occ : int ref;
 }
 
-val make_chan : Sim.t -> depth:int -> string -> 'a chan
-(** Create a free-standing channel (used for NIC ejection buffers). *)
+val make_chan : ?counter:int ref -> Sim.t -> depth:int -> string -> 'a chan
+(** Create a free-standing channel (used for NIC ejection buffers).
+    [counter] is the owner's shared occupancy counter; defaults to a
+    fresh private one. *)
+
+val chan_push : 'a chan -> 'a Packet.Flit.t -> bool
+(** Stage a flit into the channel (visible after commit) and bump the
+    owner's occupancy counter. All pushes into a channel must go through
+    this, never [Fifo.push] directly, or occupancy tracking desyncs. *)
+
+val chan_push_exn : 'a chan -> 'a Packet.Flit.t -> unit
+(** Like {!chan_push} but raises [Failure] when full. *)
 
 val chan_pop : 'a chan -> 'a Packet.Flit.t option
-(** Drain one flit and fire the credit-return hook. *)
+(** Drain one flit, decrement the occupancy counter and fire the
+    credit-return hook. *)
+
+val chan_pop_exn : 'a chan -> 'a Packet.Flit.t
+(** Like {!chan_pop} but raises [Queue.Empty] instead of allocating an
+    option. Check [Fifo.is_empty chan.buf] first on hot paths. *)
 
 type 'a t
 

@@ -44,7 +44,11 @@ let start mesh ~rng ~pattern ~rate ~payload_bytes ?(cls = 0) ~payload () =
   let cfg = Mesh.config mesh in
   let tiles = Array.of_list (Mesh.coords mesh) in
   let tick () =
-    if g.running then
+    (* While running we draw from the RNG every executed cycle, so the
+       generator must report Busy: skipping a cycle would shift the RNG
+       stream and change every subsequent draw. Once stopped it touches
+       nothing and fast-forward is safe. *)
+    if g.running then begin
       Array.iter
         (fun src ->
           if Rng.chance rng rate then begin
@@ -56,9 +60,12 @@ let start mesh ~rng ~pattern ~rate ~payload_bytes ?(cls = 0) ~payload () =
               Mesh.send mesh ~src ~dst ~cls ~payload_bytes payload
             end
           end)
-        tiles
+        tiles;
+      Sim.Busy
+    end
+    else Sim.Idle
   in
-  Sim.add_ticker (Mesh.sim mesh) tick;
+  Sim.add_clocked (Mesh.sim mesh) tick;
   g
 
 let stop_gen g = g.running <- false

@@ -273,6 +273,145 @@ let test_fifo_clear () =
   Sim.step sim;
   Alcotest.(check int) "empty after clear" 0 (Fifo.length f)
 
+let prop_heap_time_seq_order =
+  (* The simulator orders events by (time, seq): ties on time must pop in
+     insertion order. With seq = insertion index the pairs are distinct,
+     so a lexicographic sort is the unique correct drain order. *)
+  QCheck.Test.make ~name:"heap pops (time, seq) in order" ~count:300
+    QCheck.(list small_nat)
+    (fun times ->
+      let h = Heap.create ~cmp:compare in
+      List.iteri (fun seq t -> Heap.push h (t, seq)) times;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare popped && List.length popped = List.length times)
+
+type fifo_op = FPush of int | FPop | FCommit
+
+let fifo_op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (3, map (fun x -> FPush x) small_nat); (2, return FPop); (1, return FCommit) ])
+
+let prop_fifo_model =
+  (* Model-based check of two-phase semantics against a pair of lists:
+     pushes land in [staged] (bounded by capacity over both lists), pops
+     see only [committed], and Sim.step moves staged behind committed. *)
+  QCheck.Test.make ~name:"fifo matches two-phase list model" ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 6) (list_size (int_range 0 40) fifo_op_gen)))
+    (fun (cap, ops) ->
+      let sim = Sim.create () in
+      let f = Fifo.create sim ~capacity:cap "model" in
+      let committed = ref [] and staged = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | FPush x ->
+            let accepted = Fifo.push f x in
+            let fits = List.length !committed + List.length !staged < cap in
+            if accepted <> fits then ok := false;
+            if accepted then staged := !staged @ [ x ]
+          | FPop ->
+            let want =
+              match !committed with
+              | [] -> None
+              | x :: rest ->
+                committed := rest;
+                Some x
+            in
+            if Fifo.pop f <> want then ok := false
+          | FCommit ->
+            Sim.step sim;
+            committed := !committed @ !staged;
+            staged := [])
+        ops;
+      !ok
+      && Fifo.length f = List.length !committed
+      && Fifo.occupancy f = List.length !committed + List.length !staged
+      && Fifo.peek f = (match !committed with [] -> None | x :: _ -> Some x))
+
+let prop_fast_forward_equiv =
+  (* Fast-forward must be invisible: a run with idle gaps (no tickers, so
+     the sim is quiescent between events) produces the same event order,
+     observed times and final clock as the same schedule forced to step
+     every cycle by an always-Busy ticker. *)
+  QCheck.Test.make ~name:"idle fast-forward matches naive stepping" ~count:100
+    QCheck.(list (int_bound 200))
+    (fun times ->
+      let run ~naive =
+        let sim = Sim.create () in
+        let log = ref [] in
+        if naive then Sim.add_clocked sim (fun () -> Sim.Busy);
+        List.iteri
+          (fun i t -> Sim.at sim t (fun () -> log := (Sim.now sim, i) :: !log))
+          times;
+        Sim.run_until sim 250;
+        (List.rev !log, Sim.now sim)
+      in
+      run ~naive:false = run ~naive:true)
+
+let test_sim_at_now_in_tick_defers () =
+  (* Scheduling for the current cycle from the tick phase cannot fire this
+     cycle (the event phase already ran), so it lands on the next one. *)
+  let sim = Sim.create () in
+  let fired = ref (-1) in
+  let armed = ref false in
+  Sim.add_clocked sim (fun () ->
+      if (Sim.now sim = 3 && not !armed) then begin
+        armed := true;
+        Sim.at sim 3 (fun () -> fired := Sim.now sim)
+      end;
+      Sim.Busy);
+  Sim.run_for sim 10;
+  Alcotest.(check int) "deferred to next cycle" 4 !fired
+
+let test_sim_after_zero_in_event_phase () =
+  (* From the event phase the current cycle is still open: delay 0 fires
+     within the same cycle. *)
+  let sim = Sim.create () in
+  let fired = ref (-1) in
+  Sim.at sim 2 (fun () -> Sim.after sim 0 (fun () -> fired := Sim.now sim));
+  Sim.run_for sim 5;
+  Alcotest.(check int) "same cycle" 2 !fired
+
+let test_sim_idle_until_cadence () =
+  let sim = Sim.create () in
+  let runs = ref 0 in
+  Sim.add_clocked sim (fun () ->
+      incr runs;
+      Sim.Idle_until (Sim.now sim + 5));
+  Sim.run_for sim 100;
+  (* Ticks at 0, 5, 10, ..., 95; the gaps are fast-forwarded. *)
+  Alcotest.(check int) "one tick per wake" 20 !runs;
+  Alcotest.(check int) "gaps skipped" 80 (Sim.cycles_skipped sim)
+
+let test_sim_wake_reruns_idle_ticker () =
+  let sim = Sim.create () in
+  let runs = ref 0 in
+  Sim.add_clocked sim (fun () ->
+      incr runs;
+      Sim.Idle);
+  Sim.run_for sim 10;
+  Alcotest.(check int) "quiesced after first tick" 1 !runs;
+  Sim.wake sim;
+  Sim.run_for sim 5;
+  Alcotest.(check int) "woken ticker ran again" 2 !runs
+
+let test_fifo_push_wakes_quiescent_sim () =
+  (* External mutation between runs must not be lost to fast-forward: a
+     staged push re-arms the commit machinery even when the sim had gone
+     fully quiescent. *)
+  let sim = Sim.create () in
+  let f = Fifo.create sim "t" in
+  Sim.run_for sim 10;
+  Alcotest.(check bool) "push accepted" true (Fifo.push f 7);
+  Sim.run_for sim 1;
+  Alcotest.(check (option int)) "committed on next run" (Some 7) (Fifo.pop f)
+
 let test_series () =
   let s = Stats.Series.create "t" ~interval:100 in
   Stats.Series.record s ~now:5 1.0;
@@ -314,6 +453,7 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           qc prop_heap_sorts;
+          qc prop_heap_time_seq_order;
         ] );
       ( "rng",
         [
@@ -344,6 +484,13 @@ let () =
           Alcotest.test_case "ticker each cycle" `Quick test_sim_ticker_runs_each_cycle;
           Alcotest.test_case "fast forward" `Quick test_sim_fast_forward;
           Alcotest.test_case "stop" `Quick test_sim_stop;
+          Alcotest.test_case "at-now in tick defers" `Quick test_sim_at_now_in_tick_defers;
+          Alcotest.test_case "after-zero in event phase" `Quick
+            test_sim_after_zero_in_event_phase;
+          Alcotest.test_case "idle-until cadence" `Quick test_sim_idle_until_cadence;
+          Alcotest.test_case "wake reruns idle ticker" `Quick
+            test_sim_wake_reruns_idle_ticker;
+          qc prop_fast_forward_equiv;
         ] );
       ( "sim_extra",
         [
@@ -357,6 +504,9 @@ let () =
           Alcotest.test_case "capacity counts staged" `Quick test_fifo_capacity_counts_staged;
           Alcotest.test_case "order" `Quick test_fifo_order;
           Alcotest.test_case "clear" `Quick test_fifo_clear;
+          Alcotest.test_case "push wakes quiescent sim" `Quick
+            test_fifo_push_wakes_quiescent_sim;
+          qc prop_fifo_model;
         ] );
       ("series", [ Alcotest.test_case "buckets" `Quick test_series ]);
     ]
