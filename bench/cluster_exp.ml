@@ -1,0 +1,280 @@
+(* E12 — multi-board rack: sharded scale-out, cross-board invocation
+   penalty, and a failover drill.
+
+   The paper's setting is network-attached FPGAs in a datacenter; E7/E11
+   measured one board. Here N full Apiary boards share one ToR switch
+   (lib/cluster), services register in a rack directory, and external
+   clients shard a request stream across boards with client-side
+   failover. APIARY_E12_SMALL=1 shrinks the sweep for CI smoke runs. *)
+
+module Sim = Apiary_engine.Sim
+module Rng = Apiary_engine.Rng
+module Stats = Apiary_engine.Stats
+module Shell = Apiary_core.Shell
+module Kv = Apiary_accel.Kv
+module Accels = Apiary_accel.Accels
+module Cluster = Apiary_cluster.Cluster
+module Shard_client = Apiary_cluster.Shard_client
+open Bench_util
+
+let small () = Sys.getenv_opt "APIARY_E12_SMALL" <> None
+let bytes_of n = Bytes.make n 'x'
+
+(* Deterministic keyed KV workload: work item [n] touches key
+   [n mod 167]; even items PUT, odd items GET. *)
+let kv_gen value_bytes n =
+  let key = Printf.sprintf "k%03d" (n mod 167) in
+  let req =
+    if n land 1 = 0 then Kv.Proto.Put (key, bytes_of value_bytes)
+    else Kv.Proto.Get key
+  in
+  (key, Kv.Proto.encode_req req)
+
+let mk_rack sim ~boards ~clients =
+  let cluster = Cluster.create sim ~boards ~client_ports:(clients + 1) in
+  cluster
+
+(* ------------------------------------------------------------------ *)
+(* E12a — sharded KV: aggregate throughput and latency vs board count.
+   One KV replica per board (each owning a keyspace slice via the
+   consistent-hash ring) and one closed-loop client per board, so both
+   offered load and serving capacity scale with N. *)
+
+let e12a_run ~boards ~duration =
+  let sim = Sim.create () in
+  let cluster = mk_rack sim ~boards ~clients:boards in
+  for b = 0 to boards - 1 do
+    ignore (Cluster.install cluster ~board:b ~service:"kv" (fst (Kv.behavior ())))
+  done;
+  let clients =
+    List.init boards (fun _ ->
+        Shard_client.create cluster ~service:"kv" ~op:Kv.Proto.opcode
+          ~route:Shard_client.By_key ~gen:(kv_gen 64))
+  in
+  Sim.after sim 3_000 (fun () ->
+      List.iter (fun c -> Shard_client.start c ~concurrency:16) clients);
+  Sim.run_for sim duration;
+  List.iter Shard_client.stop clients;
+  let lat = Stats.Histogram.create "e12a" in
+  List.iter
+    (fun c -> Stats.Histogram.merge_into ~src:(Shard_client.latency c) ~dst:lat)
+    clients;
+  let ops = List.fold_left (fun a c -> a + Shard_client.completed c) 0 clients in
+  (ops, p50 lat, p99 lat)
+
+(* ------------------------------------------------------------------ *)
+(* E12b — the cost of location transparency: the same service invoked
+   through the same Cluster.connect/call API from a board that hosts a
+   replica (resolves Local) and from one that doesn't (resolves Remote,
+   via netsvc + ToR). Companion to E11's fabric-vs-network gap. *)
+
+let e12b_run ~duration =
+  let sim = Sim.create () in
+  let cluster = mk_rack sim ~boards:2 ~clients:0 in
+  ignore
+    (Cluster.install cluster ~board:0 ~service:"ctl"
+       (Accels.echo ~service:"ctl" ~cost:4 ()));
+  let caller board h =
+    Shell.behavior "caller" ~on_boot:(fun sh ->
+        Sim.after (Shell.sim sh) 3_000 (fun () ->
+            Cluster.connect cluster ~board sh ~service:"ctl" (fun r ->
+                match r with
+                | Error _ -> ()
+                | Ok target ->
+                  let rec go () =
+                    let t0 = Shell.now sh in
+                    Cluster.call cluster ~board sh target ~op:Accels.op_echo
+                      (bytes_of 32) (fun _ ->
+                        Stats.Histogram.record h (Shell.now sh - t0);
+                        go ())
+                  in
+                  go ())))
+  in
+  let local_h = Stats.Histogram.create "local" in
+  let remote_h = Stats.Histogram.create "remote" in
+  ignore (Cluster.install cluster ~board:0 (caller 0 local_h));
+  ignore (Cluster.install cluster ~board:1 (caller 1 remote_h));
+  Sim.run_for sim duration;
+  (p50 local_h, p50 remote_h)
+
+(* ------------------------------------------------------------------ *)
+(* E12c — stateless scale-out: one video encoder per board behind
+   round-robin spreading (E7a's intra-board sweep, taken cross-board). *)
+
+let e12c_run ~boards ~duration =
+  let sim = Sim.create () in
+  let cluster = mk_rack sim ~boards ~clients:boards in
+  for b = 0 to boards - 1 do
+    ignore
+      (Cluster.install cluster ~board:b ~service:"enc"
+         (Accels.video_encoder ~service:"enc" ()))
+  done;
+  let chunk =
+    let rng = Rng.create ~seed:11 in
+    Rng.bytes_compressible rng 1024 ~redundancy:0.85
+  in
+  let clients =
+    List.init boards (fun _ ->
+        Shard_client.create cluster ~service:"enc" ~op:Accels.op_encode
+          ~route:Shard_client.Round_robin ~gen:(fun _ -> ("", chunk)))
+  in
+  Sim.after sim 3_000 (fun () ->
+      List.iter (fun c -> Shard_client.start c ~concurrency:16) clients);
+  Sim.run_for sim duration;
+  List.iter Shard_client.stop clients;
+  List.fold_left (fun a c -> a + Shard_client.completed c) 0 clients
+
+(* ------------------------------------------------------------------ *)
+(* E12d — failover drill: kill one of four boards mid-run, watch the
+   clients time out, reshard onto the three survivors and carry on; then
+   bring the board back and watch it re-admitted. No operator anywhere:
+   detection is client-side timeout, recovery is the cluster's
+   re-registration announcement. *)
+
+let e12d_run ~duration ~kill_at ~restore_at ~interval =
+  let boards = 4 in
+  let victim = 2 in
+  let sim = Sim.create () in
+  let cluster = mk_rack sim ~boards ~clients:boards in
+  for b = 0 to boards - 1 do
+    ignore (Cluster.install cluster ~board:b ~service:"kv" (fst (Kv.behavior ())))
+  done;
+  let series = Stats.Series.create "e12d" ~interval in
+  let clients =
+    List.init boards (fun _ ->
+        Shard_client.create cluster ~timeout:20_000 ~service:"kv"
+          ~op:Kv.Proto.opcode ~route:Shard_client.By_key ~gen:(kv_gen 64))
+  in
+  List.iter
+    (fun c ->
+      Shard_client.set_on_complete c (fun ~now ->
+          Stats.Series.record series ~now 1.0))
+    clients;
+  Sim.after sim 3_000 (fun () ->
+      List.iter (fun c -> Shard_client.start c ~concurrency:8) clients);
+  Sim.after sim kill_at (fun () -> Cluster.kill cluster ~board:victim);
+  Sim.after sim restore_at (fun () -> Cluster.restore cluster ~board:victim);
+  Sim.run_for sim duration;
+  List.iter Shard_client.stop clients;
+  let buckets = Stats.Series.buckets series in
+  let avg_over lo hi =
+    let sel =
+      List.filter (fun (t, _) -> t >= lo && t + interval <= hi) buckets
+    in
+    match sel with
+    | [] -> 0.0
+    | sel ->
+      List.fold_left (fun a (_, v) -> a +. v) 0.0 sel
+      /. float_of_int (List.length sel)
+  in
+  let pre = avg_over (kill_at / 2) kill_at in
+  (* Degraded window: from the kill until the first bucket back at ≥90%
+     of the pre-kill per-bucket rate (resharding onto survivors). *)
+  let recovered_at =
+    let rec scan = function
+      | [] -> restore_at
+      | (t, v) :: rest ->
+        if t >= kill_at && v >= 0.9 *. pre then t else scan rest
+    in
+    scan buckets
+  in
+  let degraded = avg_over kill_at recovered_at in
+  let resharded = avg_over recovered_at restore_at in
+  let post = avg_over (restore_at + (2 * interval)) duration in
+  let failovers =
+    List.fold_left (fun a c -> a + Shard_client.failovers c) 0 clients
+  in
+  let survivors = Shard_client.live_boards (List.hd clients) in
+  (pre, degraded, resharded, post, recovered_at - kill_at, failovers, survivors)
+
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  header "E12"
+    "multi-board rack: sharded scale-out, remote penalty, failover drill";
+  let sm = small () in
+  let board_counts = if sm then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let duration = if sm then 120_000 else 300_000 in
+
+  subhead "E12a: sharded KV, one replica + one client per board";
+  let kv_results =
+    parallel_map (fun boards -> e12a_run ~boards ~duration) board_counts
+  in
+  let base_ops =
+    match kv_results with (ops, _, _) :: _ -> max 1 ops | [] -> 1
+  in
+  table
+    [ "boards"; "ops"; "kops/s"; "speedup"; "p50 us"; "p99 us" ]
+    (List.map2
+       (fun boards (ops, l50, l99) ->
+         [
+           i boards;
+           i ops;
+           f1 (throughput_per_sec ~count:ops ~cycles:duration /. 1000.0);
+           f2 (float_of_int ops /. float_of_int base_ops);
+           f1 (us_of_cycles l50);
+           f1 (us_of_cycles l99);
+         ])
+       board_counts kv_results);
+
+  subhead "E12b: the same Cluster.call, local replica vs remote board";
+  let l50, r50 = e12b_run ~duration:(if sm then 150_000 else 300_000) in
+  table
+    [ "resolution"; "RTT p50"; "us"; "vs local" ]
+    [
+      [ "Local (replica on own fabric)"; i l50; f1 (us_of_cycles l50); "1.0x" ];
+      [ "Remote (netsvc + ToR hop)"; i r50; f1 (us_of_cycles r50);
+        f1 (float_of_int r50 /. float_of_int (max 1 l50)) ^ "x" ];
+    ];
+  Printf.printf
+    "(one cross-board hop sits between E11's fabric RTT and its\n\
+    \ remote-CPU RTT: the wire is the same, but the far end is a tile,\n\
+    \ not an interrupt handler)\n";
+
+  subhead "E12c: stateless encoders, round-robin across boards";
+  let enc_counts = if sm then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let enc_results =
+    parallel_map (fun boards -> e12c_run ~boards ~duration) enc_counts
+  in
+  let enc_base = match enc_results with n :: _ -> max 1 n | [] -> 1 in
+  table
+    [ "boards"; "chunks"; "kchunks/s"; "speedup" ]
+    (List.map2
+       (fun boards n ->
+         [
+           i boards;
+           i n;
+           f1 (throughput_per_sec ~count:n ~cycles:duration /. 1000.0);
+           f2 (float_of_int n /. float_of_int enc_base);
+         ])
+       enc_counts enc_results);
+
+  subhead "E12d: failover drill (kill board 2 of 4, then bring it back)";
+  let duration, kill_at, restore_at, interval =
+    if sm then (300_000, 80_000, 180_000, 5_000)
+    else (600_000, 150_000, 350_000, 10_000)
+  in
+  let pre, degraded, resharded, post, window, failovers, survivors =
+    e12d_run ~duration ~kill_at ~restore_at ~interval
+  in
+  let kops per_bucket =
+    f1 (throughput_per_sec ~count:(int_of_float per_bucket) ~cycles:interval
+        /. 1000.0)
+  in
+  table
+    [ "phase"; "kops/s" ]
+    [
+      [ "before kill (4 boards)"; kops pre ];
+      [ "degraded window (timeouts draining)"; kops degraded ];
+      [ "resharded steady state (3 boards)"; kops resharded ];
+      [ "after restore (4 boards again)"; kops post ];
+    ];
+  Printf.printf
+    "degraded window: %s cycles (%.0f us)   timeouts+reissues: %d   live boards at end: %d\n"
+    (commas window)
+    (us_of_cycles window)
+    failovers (List.length survivors);
+  Printf.printf
+    "(survivors restore service on their own: client timeouts reshard the\n\
+    \ keyspace, the directory drops the dead board, and recovery is a\n\
+    \ re-registration announcement — no operator in the loop)\n"

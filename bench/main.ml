@@ -22,6 +22,7 @@ let registry =
     ("e9", ("QoS under congestion", Experiments.e9));
     ("e10", ("partial reconfiguration under load", Experiments.e10));
     ("e11", ("remote OS services over the network", Experiments.e11));
+    ("e12", ("multi-board rack: sharding, remote penalty, failover", Cluster_exp.e12));
     ("abl", ("design-choice ablations (routing/VCs/depth/flit width)", Ablations.run));
     ("micro", ("Bechamel primitive costs", Micro.run));
   ]

@@ -22,15 +22,20 @@ let gbps_to_bytes_per_cycle g =
   (* bytes/cycle at 250 MHz: 10 Gb/s = 1.25 GB/s = 5 B/cycle. *)
   g *. 0.5
 
-let create ?kernel_cfg ?(mac_gen = Mac.Gen_100g) ?(switch_ports = 8) ?net_tile sim =
+let create ?kernel_cfg ?(mac_gen = Mac.Gen_100g) ?(switch_ports = 8) ?net_tile
+    ?attach:attach_to ?(mac_addr = fpga_mac_addr) sim =
   let kcfg = Option.value ~default:Kernel.default_config kernel_cfg in
   let kernel = Kernel.create sim kcfg in
-  let switch = Switch.create sim ~nports:switch_ports ~latency:250 in
+  let switch, board_port =
+    match attach_to with
+    | Some (sw, port) -> (sw, port)
+    | None -> (Switch.create sim ~nports:switch_ports ~latency:250, 0)
+  in
   let gbps = match mac_gen with Mac.Gen_10g -> 10.0 | Mac.Gen_100g -> 100.0 in
   let board_link =
     Link.create sim ~bytes_per_cycle:(gbps_to_bytes_per_cycle gbps) ~prop_cycles:125
   in
-  Switch.attach switch ~port:0 board_link Link.B;
+  Switch.attach switch ~port:board_port board_link Link.B;
   let fpga_mac = Mac.create sim mac_gen board_link Link.A in
   let net_tile =
     match net_tile with
@@ -40,9 +45,9 @@ let create ?kernel_cfg ?(mac_gen = Mac.Gen_100g) ?(switch_ports = 8) ?net_tile s
       | tile :: _ -> tile
       | [] -> invalid_arg "Board.create: no user tile for the network service")
   in
-  let net_behavior, net_stats = Netsvc.behavior ~mac:fpga_mac ~my_mac:fpga_mac_addr () in
+  let net_behavior, net_stats = Netsvc.behavior ~mac:fpga_mac ~my_mac:mac_addr () in
   Kernel.install kernel ~tile:net_tile net_behavior;
-  { sim; kernel; switch; fpga_mac; fpga_mac_addr; net_tile; net_stats }
+  { sim; kernel; switch; fpga_mac; fpga_mac_addr = mac_addr; net_tile; net_stats }
 
 let add_client_port t ~port ?(gbps = 10.0) () =
   let link =
@@ -55,7 +60,7 @@ let add_client_port t ~port ?(gbps = 10.0) () =
 
 let client t ~port ?gbps () =
   let mac, addr = add_client_port t ~port ?gbps () in
-  Client.create t.sim ~mac ~my_mac:addr ~server_mac:fpga_mac_addr
+  Client.create t.sim ~mac ~my_mac:addr ~server_mac:t.fpga_mac_addr
 
 let user_tiles t =
   List.filter (fun i -> i <> t.net_tile) (Kernel.user_tiles t.kernel)

@@ -32,10 +32,19 @@ val create :
   ?mac_gen:Mac.generation ->
   ?switch_ports:int ->
   ?net_tile:int ->
+  ?attach:Switch.t * int ->
+  ?mac_addr:int ->
   Sim.t ->
   t
 (** Defaults: 100G board MAC on switch port 0, 8-port 1 µs switch, the
-    network service on the first user tile. *)
+    network service on the first user tile.
+
+    [attach:(switch, port)] wires the board's MAC into an existing
+    switch at the given port instead of creating a private one —
+    several boards sharing one ToR switch is how {!Apiary_cluster}
+    builds a rack. [switch_ports] is then ignored. [mac_addr] overrides
+    the board's MAC address (mandatory for multi-board setups, where
+    each board needs a distinct identity). *)
 
 val add_client_port :
   t -> port:int -> ?gbps:float -> unit -> Mac.t * int

@@ -1,0 +1,161 @@
+module Sim = Apiary_engine.Sim
+module Shell = Apiary_core.Shell
+module Kernel = Apiary_core.Kernel
+module Trace = Apiary_core.Trace
+module Switch = Apiary_net.Switch
+module Netsvc = Apiary_net.Netsvc
+module Netproto = Apiary_net.Netproto
+module Mac = Apiary_net.Mac
+module Board = Apiary_apps.Board
+
+type t = {
+  sim : Sim.t;
+  switch : Switch.t;
+  directory : Directory.t;
+  nodes : Node.t array;
+  exported : (int, string list) Hashtbl.t;  (* board -> services, for re-reg *)
+  mutable next_client_port : int;
+  mutable on_up : (int -> unit) list;
+}
+
+let create ?kernel_cfg ?(client_ports = 8) ?(switch_latency = 250)
+    ?fdb_capacity sim ~boards =
+  if boards <= 0 then invalid_arg "Cluster.create: boards must be positive";
+  let switch =
+    Switch.create ?fdb_capacity sim ~nports:(boards + client_ports)
+      ~latency:switch_latency
+  in
+  let nodes =
+    Array.init boards (fun id -> Node.create ?kernel_cfg sim ~switch ~id ~port:id)
+  in
+  {
+    sim;
+    switch;
+    directory = Directory.create ();
+    nodes;
+    exported = Hashtbl.create 8;
+    next_client_port = boards;
+    on_up = [];
+  }
+
+let sim t = t.sim
+let switch t = t.switch
+let directory t = t.directory
+let n_boards t = Array.length t.nodes
+let node t board = t.nodes.(board)
+let nodes t = Array.to_list t.nodes
+
+let merged_trace t =
+  Trace.merge (List.map (fun n -> Kernel.trace (Node.kernel n)) (nodes t))
+
+let set_tracing t on =
+  Array.iter
+    (fun n -> Trace.set_enabled (Kernel.trace (Node.kernel n)) on)
+    t.nodes
+
+let install t ~board ?service behavior =
+  let nd = t.nodes.(board) in
+  match Node.alloc_tile nd with
+  | None -> invalid_arg "Cluster.install: board has no free tile"
+  | Some tile ->
+    Kernel.install (Node.kernel nd) ~tile behavior;
+    (match service with
+    | None -> ()
+    | Some service ->
+      Directory.register t.directory ~service ~board ~mac:(Node.mac_addr nd);
+      let prev = Option.value ~default:[] (Hashtbl.find_opt t.exported board) in
+      if not (List.mem service prev) then
+        Hashtbl.replace t.exported board (prev @ [ service ]));
+    tile
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection.
+
+   A "killed" board is a network partition: its ToR port goes down, so
+   frames to and from it are dropped (and counted by the switch). The
+   board's fabric keeps simulating — exactly what a rack controller
+   sees when a board's link dies. Nobody is notified: callers discover
+   the failure through timeouts and report it to the directory. *)
+
+let kill t ~board =
+  let nd = t.nodes.(board) in
+  Switch.set_port_up t.switch ~port:(Node.port nd) false;
+  nd.Node.up <- false
+
+let on_board_up t f = t.on_up <- t.on_up @ [ f ]
+
+(* Recovery is announced: the board re-registers its services with the
+   directory (a gratuitous announcement, like gratuitous ARP) and
+   subscribers — load balancers, shard rings — re-admit it. *)
+let restore t ~board =
+  let nd = t.nodes.(board) in
+  Switch.set_port_up t.switch ~port:(Node.port nd) true;
+  nd.Node.up <- true;
+  List.iter
+    (fun service ->
+      Directory.register t.directory ~service ~board ~mac:(Node.mac_addr nd))
+    (Option.value ~default:[] (Hashtbl.find_opt t.exported board));
+  List.iter (fun f -> f board) t.on_up
+
+(* ------------------------------------------------------------------ *)
+(* External clients hang off the same ToR switch, on ports above the
+   boards'. *)
+
+let add_client ?gbps t =
+  let port = t.next_client_port in
+  t.next_client_port <- port + 1;
+  Board.add_client_port (Node.board t.nodes.(0)) ~port ?gbps ()
+
+(* ------------------------------------------------------------------ *)
+(* Location-transparent invocation (paper §1: "calls to other modules
+   may be local or remote"). *)
+
+type target =
+  | Local of Shell.conn
+  | Remote of { net : Shell.conn; board : int; mac : int; service : string }
+
+let target_board = function Local _ -> None | Remote r -> Some r.board
+
+let connect t ~board sh ~service k =
+  match Directory.resolve t.directory ~from_board:board ~service with
+  | None -> k (Error (Shell.Nacked ("no replica of " ^ service)))
+  | Some Directory.Local ->
+    Shell.connect sh ~service (fun r ->
+        k (Result.map (fun conn -> Local conn) r))
+  | Some (Directory.Remote rep) ->
+    Shell.connect sh ~service:"net" (fun r ->
+        match r with
+        | Error e -> k (Error e)
+        | Ok net ->
+          k (Ok (Remote { net; board = rep.Directory.board;
+                          mac = rep.Directory.mac; service })))
+
+let call t ~board sh target ~op body k =
+  match target with
+  | Local conn ->
+    Shell.request sh conn ~opcode:op body (fun r ->
+        k (Result.map (fun m -> m.Apiary_core.Message.payload) r))
+  | Remote r ->
+    Netsvc.remote_request sh r.net ~dst_mac:r.mac ~service:r.service ~op body
+      (fun res ->
+        match res with
+        | Ok rsp when rsp.Netproto.status = Netproto.Ok_resp ->
+          k (Ok rsp.Netproto.body)
+        | Ok rsp ->
+          (* The remote board answered but could not serve: drop the
+             cached route so the next resolve picks another replica. *)
+          Directory.invalidate t.directory ~from_board:board ~service:r.service;
+          let what =
+            if rsp.Netproto.status = Netproto.Service_unavailable then
+              "service unavailable on remote board"
+            else "remote error"
+          in
+          k (Error (Shell.Nacked what))
+        | Error e ->
+          (* No answer at all: stale route, and on timeout presume the
+             board dead until it re-announces. *)
+          Directory.invalidate t.directory ~from_board:board ~service:r.service;
+          (match e with
+          | Shell.Timeout -> Directory.report_failure t.directory ~board:r.board
+          | _ -> ());
+          k (Error e))

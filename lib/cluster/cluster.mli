@@ -1,0 +1,102 @@
+(** A rack of Apiary boards behind one ToR switch — the multi-board
+    layer the paper's datacenter setting implies (§1: network-attached
+    FPGAs; §6-Q3: OS functionality on remote machines).
+
+    N boards (each a full {!Apiary_apps.Board}: kernel, mesh, MAC,
+    network-service tile) share one {!Apiary_net.Switch} and one
+    {!Directory}. Services installed through {!install} are registered
+    rack-wide; {!connect}/{!call} then make cross-board service use look
+    like local use — the same callback shape whether the replica is on
+    the caller's own fabric or across the switch.
+
+    Failure model: {!kill} downs the board's switch port (a link/board
+    failure as the network sees it) and notifies {e nobody}; callers
+    discover it through timeouts, which invalidate cached routes and
+    unregister the board. {!restore} brings the port back, re-registers
+    the board's services and fires {!on_board_up} subscribers. *)
+
+module Sim := Apiary_engine.Sim
+module Shell := Apiary_core.Shell
+module Switch := Apiary_net.Switch
+module Mac := Apiary_net.Mac
+
+type t
+
+val create :
+  ?kernel_cfg:Apiary_core.Kernel.config ->
+  ?client_ports:int ->
+  ?switch_latency:int ->
+  ?fdb_capacity:int ->
+  Sim.t ->
+  boards:int ->
+  t
+(** Boards occupy switch ports [0 .. boards-1]; [client_ports] more
+    (default 8) are reserved for {!add_client}. [switch_latency]
+    defaults to 250 cycles (1 µs ToR at 250 MHz). *)
+
+val sim : t -> Sim.t
+val switch : t -> Switch.t
+val directory : t -> Directory.t
+val n_boards : t -> int
+val node : t -> int -> Node.t
+val nodes : t -> Node.t list
+
+val install : t -> board:int -> ?service:string -> Shell.behavior -> int
+(** Install a behavior on the next free tile of [board]; returns the
+    tile. With [?service], also registers the board as a replica of that
+    service in the rack {!directory} (the behavior should register the
+    same name with its own kernel in [on_boot], as usual). *)
+
+val set_tracing : t -> bool -> unit
+(** Enable/disable tracing on every board's kernel at once. *)
+
+val merged_trace : t -> Apiary_core.Trace.event list
+(** All boards' trace events pooled into one cycle-ordered stream (each
+    event carries its board id). *)
+
+(** {1 Failure injection} *)
+
+val kill : t -> board:int -> unit
+(** Down the board's switch port. No notification is delivered anywhere
+    — failure is discovered by callers timing out. *)
+
+val restore : t -> board:int -> unit
+(** Bring the port back, re-register the board's services with the
+    directory, and fire {!on_board_up} subscribers. *)
+
+val on_board_up : t -> (int -> unit) -> unit
+(** Subscribe to recovery announcements (shard rings and load balancers
+    use this to re-admit a returning board). *)
+
+(** {1 External clients} *)
+
+val add_client : ?gbps:float -> t -> Mac.t * int
+(** Attach a host NIC to the rack switch (ports above the boards');
+    returns the MAC adapter and its address. *)
+
+(** {1 Location-transparent invocation} *)
+
+type target =
+  | Local of Shell.conn  (** replica on the caller's own fabric *)
+  | Remote of { net : Shell.conn; board : int; mac : int; service : string }
+      (** replica across the switch, reached via the board's network tile *)
+
+val target_board : target -> int option
+(** The remote board id, or [None] for a local target. *)
+
+val connect :
+  t -> board:int -> Shell.t -> service:string ->
+  ((target, Shell.rpc_error) result -> unit) -> unit
+(** Resolve [service] through the rack directory from the given board
+    and build the right kind of connection: a direct NoC connection for
+    a local replica, or a connection to the board's ["net"] tile wrapped
+    with the remote replica's address. *)
+
+val call :
+  t -> board:int -> Shell.t -> target -> op:int -> bytes ->
+  ((bytes, Shell.rpc_error) result -> unit) -> unit
+(** Invoke the target: [Shell.request] for local,
+    [Netsvc.remote_request] for remote — same callback shape either way
+    (the location-transparency claim made concrete). A failed remote
+    call invalidates the cached route; a timeout additionally reports
+    the board to the directory so resolution moves to survivors. *)

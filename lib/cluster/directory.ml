@@ -1,0 +1,95 @@
+(* Federated name server: rack-wide service -> replica registry with
+   per-(board, service) route caches.
+
+   Models the paper's remote control plane (§6-Q3): registration and
+   resolution are rack-controller state, deterministic and instantaneous
+   in the simulation — the expensive part (actually reaching the chosen
+   replica) goes over the simulated network. Failure detection is
+   caller-driven: a failed remote call invalidates the cached route and
+   reports the replica's board; the directory never observes failures on
+   its own. *)
+
+type replica = { board : int; mac : int }
+type resolution = Local | Remote of replica
+
+type t = {
+  registry : (string, replica list) Hashtbl.t;  (* registration order *)
+  cache : (int * string, replica) Hashtbl.t;  (* (from_board, service) *)
+  rotation : (string, int) Hashtbl.t;  (* next-remote pick per service *)
+  mutable lookups : int;
+  mutable cache_hits : int;
+  mutable invalidations : int;
+}
+
+let create () =
+  {
+    registry = Hashtbl.create 16;
+    cache = Hashtbl.create 32;
+    rotation = Hashtbl.create 16;
+    lookups = 0;
+    cache_hits = 0;
+    invalidations = 0;
+  }
+
+let replicas t service =
+  Option.value ~default:[] (Hashtbl.find_opt t.registry service)
+
+let services t =
+  Hashtbl.fold (fun s _ acc -> s :: acc) t.registry [] |> List.sort compare
+
+let register t ~service ~board ~mac =
+  let rs = replicas t service in
+  if not (List.exists (fun r -> r.board = board) rs) then
+    Hashtbl.replace t.registry service (rs @ [ { board; mac } ])
+
+let drop_cached_routes_to t board =
+  let stale =
+    Hashtbl.fold
+      (fun k r acc -> if r.board = board then k :: acc else acc)
+      t.cache []
+  in
+  List.iter (Hashtbl.remove t.cache) stale;
+  t.invalidations <- t.invalidations + List.length stale
+
+let unregister_board t board =
+  let keys = Hashtbl.fold (fun s _ acc -> s :: acc) t.registry [] in
+  List.iter
+    (fun s ->
+      let rs = List.filter (fun r -> r.board <> board) (replicas t s) in
+      if rs = [] then Hashtbl.remove t.registry s
+      else Hashtbl.replace t.registry s rs)
+    keys;
+  drop_cached_routes_to t board
+
+let report_failure t ~board = unregister_board t board
+
+let invalidate t ~from_board ~service =
+  if Hashtbl.mem t.cache (from_board, service) then begin
+    Hashtbl.remove t.cache (from_board, service);
+    t.invalidations <- t.invalidations + 1
+  end
+
+let resolve t ~from_board ~service =
+  t.lookups <- t.lookups + 1;
+  let rs = replicas t service in
+  if List.exists (fun r -> r.board = from_board) rs then Some Local
+  else
+    match Hashtbl.find_opt t.cache (from_board, service) with
+    | Some r when List.exists (fun x -> x.board = r.board) rs ->
+      t.cache_hits <- t.cache_hits + 1;
+      Some (Remote r)
+    | _ -> (
+      match rs with
+      | [] -> None
+      | rs ->
+        (* Spread first-time resolutions across remote replicas, then
+           stick to the cached route until it is invalidated. *)
+        let k = Option.value ~default:0 (Hashtbl.find_opt t.rotation service) in
+        let r = List.nth rs (k mod List.length rs) in
+        Hashtbl.replace t.rotation service (k + 1);
+        Hashtbl.replace t.cache (from_board, service) r;
+        Some (Remote r))
+
+let lookups t = t.lookups
+let cache_hits t = t.cache_hits
+let invalidations t = t.invalidations

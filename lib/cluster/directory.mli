@@ -1,0 +1,51 @@
+(** Federated name server for a rack of Apiary boards.
+
+    Per-board kernels already resolve names for their own fabric; the
+    directory is the layer above: it maps a service name to the set of
+    boards exporting it, so [connect "kv"] from any board resolves to a
+    local tile when possible and to [(mac, service)] on another board
+    otherwise — the paper's location transparency ("calls to other
+    modules may be local or remote", §1) across the ToR switch.
+
+    Resolution results are cached per [(from_board, service)]; a failed
+    remote call must {!invalidate} its route (and {!report_failure} the
+    board if it timed out). The directory itself never detects failures —
+    it is deterministic rack-controller state. *)
+
+type replica = { board : int; mac : int }
+
+type resolution =
+  | Local  (** the service runs on the asking board's own fabric *)
+  | Remote of replica  (** reach it through the network tile *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> service:string -> board:int -> mac:int -> unit
+(** Idempotent per (service, board). *)
+
+val unregister_board : t -> int -> unit
+(** Remove every service exported by a board (and any cached routes to
+    it) — deliberate decommission or confirmed failure. *)
+
+val report_failure : t -> board:int -> unit
+(** Caller-observed failure (e.g. remote-call timeout): same effect as
+    {!unregister_board}. The board re-registers when it recovers. *)
+
+val resolve : t -> from_board:int -> service:string -> resolution option
+(** [None] when no live replica exports the service. Remote picks are
+    rotated across replicas on first resolution, then cached until
+    invalidated. *)
+
+val invalidate : t -> from_board:int -> service:string -> unit
+(** Drop one cached route (stale-route handling after a failed call). *)
+
+val replicas : t -> string -> replica list
+val services : t -> string list
+
+(** {2 Counters} *)
+
+val lookups : t -> int
+val cache_hits : t -> int
+val invalidations : t -> int

@@ -1,0 +1,172 @@
+(* External load generator that drives a whole rack: requests are
+   spread over the boards by consistent-hash sharding (keyed services
+   like KV) or round-robin (stateless services), with client-side
+   failure handling — a per-request timeout; on expiry the board is
+   dropped from the shard ring (resharding onto survivors) and the work
+   item reissued. Recovery announcements from the cluster re-admit the
+   board.
+
+   This is the piece the plain Net.Client lacks for multi-board runs:
+   that client aims at one MAC and waits forever. *)
+
+module Sim = Apiary_engine.Sim
+module Stats = Apiary_engine.Stats
+module Mac = Apiary_net.Mac
+module Frame = Apiary_net.Frame
+module Netproto = Apiary_net.Netproto
+
+type route = By_key | Round_robin
+
+type pending = { issued_at : int; board : int; work_id : int }
+
+type t = {
+  sim : Sim.t;
+  cluster : Cluster.t;
+  mac : Mac.t;
+  my_mac : int;
+  service : string;
+  op : int;
+  gen : int -> string * bytes;  (* work id -> (shard key, body) *)
+  route : route;
+  ring : Shard.t;
+  rr : Shard.Rr.t;
+  timeout : int;
+  pending : (int, pending) Hashtbl.t;  (* req_id -> pending *)
+  lat : Stats.Histogram.t;
+  mutable next_req : int;
+  mutable next_work : int;
+  mutable issued : int;
+  mutable completed : int;
+  mutable errors : int;
+  mutable failovers : int;
+  mutable running : bool;
+  mutable on_complete : now:int -> unit;
+}
+
+let pick_board t key =
+  match t.route with
+  | By_key -> Shard.lookup t.ring key
+  | Round_robin -> Shard.Rr.next t.rr
+
+let drop_board t board =
+  Shard.remove t.ring board;
+  Shard.Rr.remove t.rr board;
+  (* Tell the rack controller too, so in-fabric resolution also stops
+     routing to the dead board (it re-registers on recovery). *)
+  Directory.report_failure (Cluster.directory t.cluster) ~board
+
+let readmit_board t board =
+  Shard.add t.ring board;
+  Shard.Rr.add t.rr board
+
+let rec issue_work t work_id =
+  let key, body = t.gen work_id in
+  match pick_board t key with
+  | None ->
+    (* No live boards at all: retry once somebody comes back. *)
+    t.errors <- t.errors + 1;
+    Sim.after t.sim t.timeout (fun () -> if t.running then issue_work t work_id)
+  | Some board ->
+    t.next_req <- t.next_req + 1;
+    let req_id = t.next_req in
+    let dst = Node.mac_addr (Cluster.node t.cluster board) in
+    let frame =
+      Frame.make ~dst ~src:t.my_mac
+        (Netproto.encode_request
+           { Netproto.req_id; service = t.service; op = t.op; body })
+    in
+    Hashtbl.replace t.pending req_id
+      { issued_at = Sim.now t.sim; board; work_id };
+    t.issued <- t.issued + 1;
+    if not (Mac.send t.mac frame) then begin
+      (* Device backpressure: back off briefly, keep the window full. *)
+      Hashtbl.remove t.pending req_id;
+      t.errors <- t.errors + 1;
+      Sim.after t.sim 64 (fun () -> if t.running then issue_work t work_id)
+    end
+    else
+      Sim.after t.sim t.timeout (fun () ->
+          match Hashtbl.find_opt t.pending req_id with
+          | None -> ()  (* answered in time *)
+          | Some p ->
+            (* Client-side failure detection: declare the board dead,
+               reshard its keyspace onto survivors, reissue the work. *)
+            Hashtbl.remove t.pending req_id;
+            t.failovers <- t.failovers + 1;
+            drop_board t p.board;
+            if t.running then issue_work t p.work_id)
+
+let fresh_work t =
+  t.next_work <- t.next_work + 1;
+  issue_work t t.next_work
+
+let handle_frame t (f : Frame.t) =
+  (* NIC dst filter: flooded frames for other hosts must not be matched
+     against our pending table (req ids are per-client counters). *)
+  if f.Frame.dst <> t.my_mac then ()
+  else
+  match Netproto.decode_response f.Frame.payload with
+  | Error _ -> ()
+  | Ok rsp -> (
+    match Hashtbl.find_opt t.pending rsp.Netproto.rsp_id with
+    | None -> ()  (* late reply from a board already declared dead *)
+    | Some p ->
+      Hashtbl.remove t.pending rsp.Netproto.rsp_id;
+      Stats.Histogram.record t.lat (Sim.now t.sim - p.issued_at);
+      t.completed <- t.completed + 1;
+      if rsp.Netproto.status <> Netproto.Ok_resp then
+        t.errors <- t.errors + 1;
+      t.on_complete ~now:(Sim.now t.sim);
+      if t.running then fresh_work t)
+
+let create ?(vnodes = 64) ?(timeout = 25_000) ?gbps cluster ~service ~op ~route
+    ~gen =
+  let mac, my_mac = Cluster.add_client ?gbps cluster in
+  let board_ids = List.init (Cluster.n_boards cluster) Fun.id in
+  let ring = Shard.create ~vnodes () in
+  List.iter (Shard.add ring) board_ids;
+  let t =
+    {
+      sim = Cluster.sim cluster;
+      cluster;
+      mac;
+      my_mac;
+      service;
+      op;
+      gen;
+      route;
+      ring;
+      rr = Shard.Rr.create board_ids;
+      timeout;
+      pending = Hashtbl.create 64;
+      lat = Stats.Histogram.create (Printf.sprintf "shard%x.latency" my_mac);
+      next_req = 0;
+      next_work = 0;
+      issued = 0;
+      completed = 0;
+      errors = 0;
+      failovers = 0;
+      running = false;
+      on_complete = (fun ~now:_ -> ());
+    }
+  in
+  Cluster.on_board_up cluster (fun b -> readmit_board t b);
+  Mac.set_rx mac (fun f -> handle_frame t f);
+  t
+
+let start t ~concurrency =
+  assert (concurrency > 0);
+  t.running <- true;
+  (* Stagger the initial window to avoid lockstep artifacts. *)
+  for i = 0 to concurrency - 1 do
+    Sim.after t.sim (1 + i) (fun () -> if t.running then fresh_work t)
+  done
+
+let stop t = t.running <- false
+let issued t = t.issued
+let completed t = t.completed
+let errors t = t.errors
+let failovers t = t.failovers
+let latency t = t.lat
+let live_boards t = Shard.boards t.ring
+let set_on_complete t f = t.on_complete <- f

@@ -1,0 +1,50 @@
+(** Rack-aware load generator: an external host that shards a request
+    stream over all boards of a {!Cluster}, with client-side failover.
+
+    Routing is consistent-hash by key ({!By_key}, for stateful services
+    like KV — each board owns a stable slice of the keyspace) or
+    round-robin ({!Round_robin}, for stateless replicas). Every request
+    carries a timeout; on expiry the target board is dropped from the
+    shard ring — resharding its keyspace onto survivors — and the work
+    item is reissued, counted as a {!failovers}. The client re-admits a
+    board when the cluster announces its recovery ({!Cluster.restore}),
+    so a failover drill needs no operator intervention. *)
+
+module Stats := Apiary_engine.Stats
+
+type route = By_key | Round_robin
+
+type t
+
+val create :
+  ?vnodes:int ->
+  ?timeout:int ->
+  ?gbps:float ->
+  Cluster.t ->
+  service:string ->
+  op:int ->
+  route:route ->
+  gen:(int -> string * bytes) ->
+  t
+(** [gen work_id] returns the shard key and request body for one work
+    item (deterministic in [work_id], so runs are reproducible).
+    [timeout] defaults to 25_000 cycles (100 µs) — well above a healthy
+    cross-rack RTT, well below the drill's degraded window. *)
+
+val start : t -> concurrency:int -> unit
+(** Closed loop: keep [concurrency] requests outstanding. *)
+
+val stop : t -> unit
+
+val issued : t -> int
+val completed : t -> int
+val errors : t -> int
+
+val failovers : t -> int
+(** Requests that timed out and were reissued to a survivor. *)
+
+val latency : t -> Stats.Histogram.t
+val live_boards : t -> int list
+
+val set_on_complete : t -> (now:int -> unit) -> unit
+(** Hook fired at each completion (e.g. to feed a {!Stats.Series}). *)

@@ -133,11 +133,11 @@ let rng t = t.m_rng
 let now t = Sim.now t.m_sim
 
 let tracef t dir detail =
-  Trace.record t.trace ~cycle:(now t) ~tile:t.m_tile ~dir ~detail
+  Trace.record t.trace ~cycle:(now t) ~tile:t.m_tile ~dir ~detail ()
 
 let trace_msg t dir m =
-  Trace.record_lazy t.trace ~cycle:(now t) ~tile:t.m_tile ~dir (fun () ->
-      Message.summary m)
+  Trace.record_lazy t.trace ~corr:m.Message.corr ~cycle:(now t) ~tile:t.m_tile
+    ~dir (fun () -> Message.summary m)
 
 let log t s = tracef t Trace.Ingress ("note: " ^ s)
 

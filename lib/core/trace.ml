@@ -7,31 +7,48 @@ let dir_to_string = function
   | Dropped -> "drop"
   | Fault -> "FAULT"
 
-type event = { cycle : int; tile : int; dir : dir; detail : string }
+type event = {
+  cycle : int;
+  tile : int;
+  dir : dir;
+  detail : string;
+  board : int option;
+  corr : int;
+}
 
 type t = {
   ring : event option array;
   mutable next : int;
   mutable total : int;
   mutable on : bool;
+  mutable default_board : int option;
 }
 
 let create ?(capacity = 4096) () =
   assert (capacity > 0);
-  { ring = Array.make capacity None; next = 0; total = 0; on = false }
+  {
+    ring = Array.make capacity None;
+    next = 0;
+    total = 0;
+    on = false;
+    default_board = None;
+  }
 
 let set_enabled t b = t.on <- b
 let enabled t = t.on
+let set_board t id = t.default_board <- Some id
+let board t = t.default_board
 
-let record t ~cycle ~tile ~dir ~detail =
+let record t ?board ?(corr = 0) ~cycle ~tile ~dir ~detail () =
   if t.on then begin
-    t.ring.(t.next) <- Some { cycle; tile; dir; detail };
+    let board = match board with Some _ as b -> b | None -> t.default_board in
+    t.ring.(t.next) <- Some { cycle; tile; dir; detail; board; corr };
     t.next <- (t.next + 1) mod Array.length t.ring;
     t.total <- t.total + 1
   end
 
-let record_lazy t ~cycle ~tile ~dir f =
-  if t.on then record t ~cycle ~tile ~dir ~detail:(f ())
+let record_lazy t ?board ?corr ~cycle ~tile ~dir f =
+  if t.on then record t ?board ?corr ~cycle ~tile ~dir ~detail:(f ()) ()
 
 let events t =
   let n = Array.length t.ring in
@@ -51,16 +68,28 @@ let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.next <- 0
 
-let pp ppf t =
-  List.iter
-    (fun e ->
-      Format.fprintf ppf "[%8d] tile%-3d %-5s %s@." e.cycle e.tile
-        (dir_to_string e.dir) e.detail)
-    (events t)
+let merge ts =
+  (* Stable on equal cycles: events keep their per-trace order, and
+     traces keep the order they were passed in — so a merged cross-board
+     chain is reproducible. *)
+  List.stable_sort
+    (fun a b -> compare a.cycle b.cycle)
+    (List.concat_map events ts)
 
-let find t ?tile ?dir () =
+let pp_event ppf e =
+  let board = match e.board with None -> "" | Some b -> Printf.sprintf "b%-2d " b in
+  let corr = if e.corr > 0 then Printf.sprintf " #%d" e.corr else "" in
+  Format.fprintf ppf "[%8d] %stile%-3d %-5s %s%s" e.cycle board e.tile
+    (dir_to_string e.dir) e.detail corr
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)
+
+let find t ?tile ?dir ?board ?corr () =
   let keep e =
     (match tile with None -> true | Some x -> e.tile = x)
-    && match dir with None -> true | Some d -> e.dir = d
+    && (match dir with None -> true | Some d -> e.dir = d)
+    && (match board with None -> true | Some b -> e.board = Some b)
+    && match corr with None -> true | Some c -> e.corr = c
   in
   List.filter keep (events t)

@@ -4,8 +4,19 @@
 
     A bounded ring buffer of per-monitor events; cheap when disabled.
     Events carry the cycle, tile, direction and a one-line message
-    summary, so a whole cross-tile call chain can be reconstructed
-    after the fact. *)
+    summary, plus two identifiers that let a whole call chain be
+    reconstructed after the fact:
+
+    - a {b board id}, stamped on every event once {!set_board} is called
+      (one kernel = one board; a rack-level cluster assigns each board
+      its id), so traces from several boards can be pooled;
+    - a {b correlation id} ([corr]), the RPC correlation number carried
+      by the message, [0] for uncorrelated events.
+
+    With both, a cross-board call chain (client → board A netsvc →
+    switch → board B service) reconstructs from one {!merge}d trace:
+    filter by [corr] on each side of the network hop and order by
+    cycle. *)
 
 type dir =
   | Egress  (** message admitted toward the NoC *)
@@ -16,7 +27,14 @@ type dir =
 
 val dir_to_string : dir -> string
 
-type event = { cycle : int; tile : int; dir : dir; detail : string }
+type event = {
+  cycle : int;
+  tile : int;
+  dir : dir;
+  detail : string;
+  board : int option;  (** board id, when the trace belongs to one *)
+  corr : int;  (** RPC correlation id; [0] = none *)
+}
 
 type t
 
@@ -26,10 +44,20 @@ val create : ?capacity:int -> unit -> t
 val set_enabled : t -> bool -> unit
 val enabled : t -> bool
 
-val record : t -> cycle:int -> tile:int -> dir:dir -> detail:string -> unit
-(** No-op when disabled. Overwrites the oldest event when full. *)
+val set_board : t -> int -> unit
+(** Stamp all subsequently recorded events with this board id. *)
 
-val record_lazy : t -> cycle:int -> tile:int -> dir:dir -> (unit -> string) -> unit
+val board : t -> int option
+
+val record :
+  t -> ?board:int -> ?corr:int -> cycle:int -> tile:int -> dir:dir ->
+  detail:string -> unit -> unit
+(** No-op when disabled. Overwrites the oldest event when full. [board]
+    defaults to the trace's {!set_board} id (if any); [corr] to [0]. *)
+
+val record_lazy :
+  t -> ?board:int -> ?corr:int -> cycle:int -> tile:int -> dir:dir ->
+  (unit -> string) -> unit
 (** Like {!record} but only builds the detail string when enabled. *)
 
 val events : t -> event list
@@ -39,7 +67,14 @@ val count : t -> int
 (** Total events recorded since creation (including overwritten ones). *)
 
 val clear : t -> unit
+
+val merge : t list -> event list
+(** Pool several traces (e.g. one per board) into a single cycle-ordered
+    event list. The sort is stable, so events at the same cycle keep
+    their per-trace order. *)
+
+val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
 
-val find : t -> ?tile:int -> ?dir:dir -> unit -> event list
+val find : t -> ?tile:int -> ?dir:dir -> ?board:int -> ?corr:int -> unit -> event list
 (** Filter retained events. *)

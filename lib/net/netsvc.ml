@@ -120,13 +120,20 @@ let behavior ~mac ~my_mac () =
       Shell.respond sh origin ~opcode:op_remote (Netproto.encode_response rsp)
   in
   let handle_frame sh (f : Frame.t) =
-    st.rx_frames <- st.rx_frames + 1;
-    match Netproto.decode_request f.Frame.payload with
-    | Ok req -> handle_inbound_request sh f req
-    | Error _ ->
-      (match Netproto.decode_response f.Frame.payload with
-      | Ok rsp -> handle_inbound_response sh rsp
-      | Error _ -> st.bad_frames <- st.bad_frames + 1)
+    (* NIC-level dst filter: switch floods (unknown-dst frames) reach
+       every port, and in a multi-board rack another board's request
+       must not be answered here — a board without the service would
+       race a bogus Service_unavailable past the real replica. *)
+    if f.Frame.dst <> my_mac then ()
+    else begin
+      st.rx_frames <- st.rx_frames + 1;
+      match Netproto.decode_request f.Frame.payload with
+      | Ok req -> handle_inbound_request sh f req
+      | Error _ ->
+        (match Netproto.decode_response f.Frame.payload with
+        | Ok rsp -> handle_inbound_response sh rsp
+        | Error _ -> st.bad_frames <- st.bad_frames + 1)
+    end
   in
   (* Outbound call from an accelerator tile. *)
   let handle_outbound _sh (msg : Message.t) =

@@ -2,48 +2,107 @@ module Sim = Apiary_engine.Sim
 
 type port = { link : Link.t; side : Link.side }
 
+(* Per-port statistics, attributed to the ingress port of the frame
+   (drops include frames discarded because the egress port was down). *)
+type port_stats = {
+  mutable p_forwarded : int;
+  mutable p_flooded : int;
+  mutable p_dropped : int;
+}
+
 type t = {
   sim : Sim.t;
   latency : int;
+  fdb_capacity : int;
   ports : port option array;
+  up : bool array;
+  pstats : port_stats array;
   fdb : (int, int) Hashtbl.t;  (* MAC -> port *)
+  fdb_order : int Queue.t;  (* MACs in learn order, for FIFO eviction *)
   mutable forwarded : int;
   mutable flooded : int;
+  mutable dropped : int;
 }
 
-let create sim ~nports ~latency =
-  assert (nports > 0 && latency >= 0);
+let create ?(fdb_capacity = 1024) sim ~nports ~latency =
+  assert (nports > 0 && latency >= 0 && fdb_capacity > 0);
   {
     sim;
     latency;
+    fdb_capacity;
     ports = Array.make nports None;
+    up = Array.make nports true;
+    pstats =
+      Array.init nports (fun _ ->
+          { p_forwarded = 0; p_flooded = 0; p_dropped = 0 });
     fdb = Hashtbl.create 32;
+    fdb_order = Queue.create ();
     forwarded = 0;
     flooded = 0;
+    dropped = 0;
   }
+
+let learn t mac port =
+  if Hashtbl.mem t.fdb mac then Hashtbl.replace t.fdb mac port
+  else begin
+    (* Bounded learning table: evict the oldest entry FIFO when full, so
+       a MAC-flooding host cannot grow the table without bound. *)
+    if Hashtbl.length t.fdb >= t.fdb_capacity then begin
+      let victim = Queue.pop t.fdb_order in
+      Hashtbl.remove t.fdb victim
+    end;
+    Hashtbl.add t.fdb mac port;
+    Queue.push mac t.fdb_order
+  end
 
 let transmit t pi frame =
   match t.ports.(pi) with
-  | None -> ()
-  | Some p -> Link.send p.link ~from:p.side frame
+  | None -> false
+  | Some p ->
+    if t.up.(pi) then begin
+      Link.send p.link ~from:p.side frame;
+      true
+    end
+    else false
+
+let drop t in_port =
+  t.dropped <- t.dropped + 1;
+  t.pstats.(in_port).p_dropped <- t.pstats.(in_port).p_dropped + 1
 
 let forward t in_port (frame : Frame.t) =
-  Hashtbl.replace t.fdb frame.Frame.src in_port;
-  Sim.after t.sim t.latency (fun () ->
-      match Hashtbl.find_opt t.fdb frame.Frame.dst with
-      | Some pi when pi <> in_port ->
-        t.forwarded <- t.forwarded + 1;
-        transmit t pi frame
-      | Some _ -> ()  (* destination is behind the ingress port: drop *)
-      | None ->
-        t.flooded <- t.flooded + 1;
-        Array.iteri (fun pi p -> if pi <> in_port && p <> None then transmit t pi frame) t.ports)
+  if not t.up.(in_port) then drop t in_port
+  else begin
+    learn t frame.Frame.src in_port;
+    Sim.after t.sim t.latency (fun () ->
+        match Hashtbl.find_opt t.fdb frame.Frame.dst with
+        | Some pi when pi <> in_port ->
+          if transmit t pi frame then begin
+            t.forwarded <- t.forwarded + 1;
+            t.pstats.(in_port).p_forwarded <- t.pstats.(in_port).p_forwarded + 1
+          end
+          else drop t in_port (* egress port down or unplugged *)
+        | Some _ -> drop t in_port (* destination is behind the ingress port *)
+        | None ->
+          t.flooded <- t.flooded + 1;
+          t.pstats.(in_port).p_flooded <- t.pstats.(in_port).p_flooded + 1;
+          Array.iteri
+            (fun pi p ->
+              if pi <> in_port && p <> None then ignore (transmit t pi frame))
+            t.ports)
+  end
 
 let attach t ~port link side =
   assert (t.ports.(port) = None);
   t.ports.(port) <- Some { link; side };
   Link.on_recv link side (fun f -> forward t port f)
 
+let set_port_up t ~port up = t.up.(port) <- up
+let port_up t ~port = t.up.(port)
 let frames_forwarded t = t.forwarded
 let frames_flooded t = t.flooded
+let frames_dropped t = t.dropped
 let table_size t = Hashtbl.length t.fdb
+let fdb_capacity t = t.fdb_capacity
+let port_forwarded t ~port = t.pstats.(port).p_forwarded
+let port_flooded t ~port = t.pstats.(port).p_flooded
+let port_dropped t ~port = t.pstats.(port).p_dropped

@@ -1,0 +1,237 @@
+(* Tests for the rack layer: directory resolution (local hit, remote
+   hit, stale-route invalidation), shard-mapping stability under board
+   join/leave, location-transparent cross-board calls, and failover with
+   re-registration. *)
+
+module Sim = Apiary_engine.Sim
+module Shell = Apiary_core.Shell
+module Kernel = Apiary_core.Kernel
+module Trace = Apiary_core.Trace
+module Accels = Apiary_accel.Accels
+module Kv = Apiary_accel.Kv
+module Cluster = Apiary_cluster.Cluster
+module Directory = Apiary_cluster.Directory
+module Shard = Apiary_cluster.Shard
+module Shard_client = Apiary_cluster.Shard_client
+module Node = Apiary_cluster.Node
+
+let b = Bytes.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Directory (pure rack-controller state) *)
+
+let test_directory_local_hit () =
+  let d = Directory.create () in
+  Directory.register d ~service:"kv" ~board:0 ~mac:0xA0;
+  Directory.register d ~service:"kv" ~board:1 ~mac:0xA1;
+  match Directory.resolve d ~from_board:0 ~service:"kv" with
+  | Some Directory.Local -> ()
+  | Some (Directory.Remote _) -> Alcotest.fail "own replica should win"
+  | None -> Alcotest.fail "unresolved"
+
+let test_directory_remote_hit_and_cache () =
+  let d = Directory.create () in
+  Directory.register d ~service:"kv" ~board:0 ~mac:0xA0;
+  let first =
+    match Directory.resolve d ~from_board:2 ~service:"kv" with
+    | Some (Directory.Remote r) ->
+      Alcotest.(check int) "remote mac" 0xA0 r.Directory.mac;
+      r
+    | _ -> Alcotest.fail "expected remote"
+  in
+  (* Second resolve is served from the route cache. *)
+  let hits0 = Directory.cache_hits d in
+  (match Directory.resolve d ~from_board:2 ~service:"kv" with
+  | Some (Directory.Remote r) ->
+    Alcotest.(check int) "same route" first.Directory.board r.Directory.board
+  | _ -> Alcotest.fail "expected cached remote");
+  Alcotest.(check int) "cache hit counted" (hits0 + 1) (Directory.cache_hits d);
+  Alcotest.(check bool) "unknown service unresolved" true
+    (Directory.resolve d ~from_board:2 ~service:"nope" = None)
+
+let test_directory_stale_route_invalidation () =
+  let d = Directory.create () in
+  Directory.register d ~service:"kv" ~board:0 ~mac:0xA0;
+  Directory.register d ~service:"kv" ~board:1 ~mac:0xA1;
+  let chosen =
+    match Directory.resolve d ~from_board:2 ~service:"kv" with
+    | Some (Directory.Remote r) -> r.Directory.board
+    | _ -> Alcotest.fail "expected remote"
+  in
+  (* The chosen board dies: its cached route must not be handed out
+     again; resolution moves to the survivor. *)
+  Directory.report_failure d ~board:chosen;
+  (match Directory.resolve d ~from_board:2 ~service:"kv" with
+  | Some (Directory.Remote r) ->
+    Alcotest.(check bool) "moved off the dead board" true
+      (r.Directory.board <> chosen)
+  | _ -> Alcotest.fail "expected a survivor");
+  Alcotest.(check bool) "invalidation counted" true
+    (Directory.invalidations d >= 1);
+  (* Explicit single-route invalidation also forces a re-pick. *)
+  Directory.invalidate d ~from_board:2 ~service:"kv";
+  match Directory.resolve d ~from_board:2 ~service:"kv" with
+  | Some (Directory.Remote _) -> ()
+  | _ -> Alcotest.fail "survivor should still resolve"
+
+(* ------------------------------------------------------------------ *)
+(* Shard ring (pure) *)
+
+let keys = List.init 300 (fun i -> Printf.sprintf "key-%04d" i)
+
+let mapping ring =
+  List.map (fun k -> (k, Shard.lookup ring k)) keys
+
+let test_shard_spreads_keys () =
+  let ring = Shard.create () in
+  List.iter (Shard.add ring) [ 0; 1; 2; 3 ];
+  let count board =
+    List.length (List.filter (fun (_, o) -> o = Some board) (mapping ring))
+  in
+  List.iter
+    (fun bd ->
+      Alcotest.(check bool)
+        (Printf.sprintf "board %d owns a fair share (%d)" bd (count bd))
+        true
+        (count bd > 30))
+    [ 0; 1; 2; 3 ]
+
+let test_shard_stability_under_leave_join () =
+  let ring = Shard.create () in
+  List.iter (Shard.add ring) [ 0; 1; 2; 3 ];
+  let before = mapping ring in
+  Shard.remove ring 2;
+  let after = mapping ring in
+  List.iter2
+    (fun (k, o1) (_, o2) ->
+      match o1 with
+      | Some 2 ->
+        (* Displaced keys land on survivors only. *)
+        Alcotest.(check bool) (k ^ " resharded to a survivor") true
+          (match o2 with Some bd -> bd <> 2 | None -> false)
+      | o ->
+        (* Keys on surviving boards must not move at all. *)
+        Alcotest.(check bool) (k ^ " stable") true (o2 = o))
+    before after;
+  (* Re-join restores the original mapping exactly. *)
+  Shard.add ring 2;
+  List.iter2
+    (fun (k, o1) (_, o2) ->
+      Alcotest.(check bool) (k ^ " restored") true (o1 = o2))
+    before (mapping ring)
+
+let test_shard_rr_skips_dead () =
+  let rr = Shard.Rr.create [ 0; 1; 2 ] in
+  Shard.Rr.remove rr 1;
+  let picks = List.init 4 (fun _ -> Shard.Rr.next rr) in
+  Alcotest.(check bool) "alternates over live" true
+    (picks = [ Some 0; Some 2; Some 0; Some 2 ]);
+  Shard.Rr.add rr 1;
+  Alcotest.(check int) "re-admitted" 3 (List.length (Shard.Rr.live rr))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-board invocation (full simulation) *)
+
+let test_cluster_local_and_remote_call () =
+  let sim = Sim.create () in
+  let cluster = Cluster.create sim ~boards:2 in
+  ignore
+    (Cluster.install cluster ~board:0 ~service:"mirror"
+       (Accels.echo ~service:"mirror" ()));
+  let local_reply = ref None and remote_reply = ref None in
+  let caller board slot =
+    Shell.behavior "caller" ~on_boot:(fun sh ->
+        Sim.after (Shell.sim sh) 3_000 (fun () ->
+            Cluster.connect cluster ~board sh ~service:"mirror" (fun r ->
+                match r with
+                | Error _ -> ()
+                | Ok target ->
+                  Cluster.call cluster ~board sh target ~op:Accels.op_echo
+                    (b "ping") (fun r ->
+                      match r with
+                      | Ok body -> slot := Some (Bytes.to_string body)
+                      | Error _ -> ()))))
+  in
+  ignore (Cluster.install cluster ~board:0 (caller 0 local_reply));
+  ignore (Cluster.install cluster ~board:1 (caller 1 remote_reply));
+  Cluster.set_tracing cluster true;
+  Sim.run_for sim 100_000;
+  Alcotest.(check (option string)) "local call echoed" (Some "ping") !local_reply;
+  Alcotest.(check (option string)) "remote call echoed" (Some "ping")
+    !remote_reply;
+  (* The merged trace carries both boards' ids. *)
+  let boards_seen =
+    List.sort_uniq compare
+      (List.filter_map (fun e -> e.Trace.board) (Cluster.merged_trace cluster))
+  in
+  Alcotest.(check (list int)) "trace attributes both boards" [ 0; 1 ] boards_seen
+
+(* ------------------------------------------------------------------ *)
+(* Failover: kill, reshard onto survivors, recover by re-registration *)
+
+let test_cluster_failover_and_reregistration () =
+  let sim = Sim.create () in
+  let cluster = Cluster.create sim ~boards:2 ~client_ports:2 in
+  for bd = 0 to 1 do
+    ignore
+      (Cluster.install cluster ~board:bd ~service:"mirror"
+         (Accels.echo ~service:"mirror" ()))
+  done;
+  let client =
+    Shard_client.create cluster ~timeout:15_000 ~service:"mirror"
+      ~op:Accels.op_echo ~route:Shard_client.By_key
+      ~gen:(fun n -> (Printf.sprintf "key-%04d" (n mod 64), b "ping"))
+  in
+  Sim.after sim 1_000 (fun () -> Shard_client.start client ~concurrency:4);
+  Sim.after sim 60_000 (fun () -> Cluster.kill cluster ~board:1);
+  Sim.run_for sim 160_000;
+  let completed_mid = Shard_client.completed client in
+  Alcotest.(check bool) "timeouts detected the dead board" true
+    (Shard_client.failovers client > 0);
+  Alcotest.(check (list int)) "resharded onto the survivor" [ 0 ]
+    (Shard_client.live_boards client);
+  Alcotest.(check int) "directory dropped the dead board" 1
+    (List.length (Directory.replicas (Cluster.directory cluster) "mirror"));
+  (* Board comes back: re-registration re-admits it everywhere. *)
+  Cluster.restore cluster ~board:1;
+  Sim.run_for sim 100_000;
+  Alcotest.(check (list int)) "ring re-admitted the board" [ 0; 1 ]
+    (Shard_client.live_boards client);
+  Alcotest.(check int) "directory re-registered" 2
+    (List.length (Directory.replicas (Cluster.directory cluster) "mirror"));
+  Shard_client.stop client;
+  Alcotest.(check bool) "service continued throughout" true
+    (Shard_client.completed client > completed_mid);
+  Alcotest.(check bool) "board up again" true
+    (Node.up (Cluster.node cluster 1))
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "directory",
+        [
+          Alcotest.test_case "local hit" `Quick test_directory_local_hit;
+          Alcotest.test_case "remote hit + cache" `Quick
+            test_directory_remote_hit_and_cache;
+          Alcotest.test_case "stale-route invalidation" `Quick
+            test_directory_stale_route_invalidation;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "spreads keys" `Quick test_shard_spreads_keys;
+          Alcotest.test_case "stable under leave/join" `Quick
+            test_shard_stability_under_leave_join;
+          Alcotest.test_case "round-robin skips dead" `Quick
+            test_shard_rr_skips_dead;
+        ] );
+      ( "invocation",
+        [
+          Alcotest.test_case "local and remote calls" `Quick
+            test_cluster_local_and_remote_call;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "kill, reshard, re-register" `Quick
+            test_cluster_failover_and_reregistration;
+        ] );
+    ]

@@ -885,7 +885,7 @@ let test_trace_ring_wraps () =
   let tr = Trace.create ~capacity:8 () in
   Trace.set_enabled tr true;
   for c = 1 to 20 do
-    Trace.record tr ~cycle:c ~tile:0 ~dir:Trace.Ingress ~detail:"x"
+    Trace.record tr ~cycle:c ~tile:0 ~dir:Trace.Ingress ~detail:"x" ()
   done;
   let evs = Trace.events tr in
   Alcotest.(check int) "retains capacity" 8 (List.length evs);

@@ -260,6 +260,147 @@ let test_client_open_loop_rate () =
     true
     (issued > 60 && issued < 150)
 
+(* ------------------------------------------------------------------ *)
+(* Switch: bounded learning table, per-port counters, port up/down *)
+
+let test_switch_bounded_fdb () =
+  let sim = Sim.create () in
+  let sw = Switch.create ~fdb_capacity:2 sim ~nports:4 ~latency:50 in
+  let m0, _ = mk_host sim sw ~port:0 ~addr:0x10 in
+  let _m1, a1 = mk_host sim sw ~port:1 ~addr:0x11 in
+  (* One host cycles through many source MACs (a MAC-flooding attack):
+     the table must stay bounded, evicting oldest-first. *)
+  for i = 0 to 9 do
+    Sim.after sim (200 * (i + 1)) (fun () ->
+        ignore (Mac.send m0 (Frame.make ~dst:a1 ~src:(0x100 + i) (b "x"))))
+  done;
+  Sim.run_for sim 5_000;
+  Alcotest.(check int) "table bounded" 2 (Switch.table_size sw);
+  Alcotest.(check int) "capacity visible" 2 (Switch.fdb_capacity sw)
+
+let test_switch_port_counters_and_down () =
+  let sim = Sim.create () in
+  let sw = Switch.create sim ~nports:4 ~latency:50 in
+  let m0, a0 = mk_host sim sw ~port:0 ~addr:0x10 in
+  let m1, a1 = mk_host sim sw ~port:1 ~addr:0x11 in
+  let got1 = ref 0 in
+  Mac.set_rx m1 (fun _ -> incr got1);
+  (* Flood (unknown dst), then learned unicast both ways. *)
+  Sim.after sim 100 (fun () ->
+      ignore (Mac.send m0 (Frame.make ~dst:a1 ~src:a0 (b "flood"))));
+  Sim.after sim 1_000 (fun () ->
+      ignore (Mac.send m1 (Frame.make ~dst:a0 ~src:a1 (b "back"))));
+  Sim.after sim 2_000 (fun () ->
+      ignore (Mac.send m0 (Frame.make ~dst:a1 ~src:a0 (b "unicast"))));
+  Sim.run_for sim 3_000;
+  Alcotest.(check int) "port0 flooded" 1 (Switch.port_flooded sw ~port:0);
+  Alcotest.(check int) "port0 forwarded" 1 (Switch.port_forwarded sw ~port:0);
+  Alcotest.(check int) "port1 forwarded" 1 (Switch.port_forwarded sw ~port:1);
+  Alcotest.(check int) "no drops yet" 0 (Switch.frames_dropped sw);
+  (* Down the egress port: the unicast is dropped and attributed to the
+     ingress port; the receiver sees nothing new. *)
+  Switch.set_port_up sw ~port:1 false;
+  Alcotest.(check bool) "port reads down" false (Switch.port_up sw ~port:1);
+  let before = !got1 in
+  Sim.after sim 100 (fun () ->
+      ignore (Mac.send m0 (Frame.make ~dst:a1 ~src:a0 (b "to the dead"))));
+  Sim.run_for sim 2_000;
+  Alcotest.(check int) "receiver silent" before !got1;
+  Alcotest.(check int) "drop counted" 1 (Switch.frames_dropped sw);
+  Alcotest.(check int) "attributed to ingress" 1 (Switch.port_dropped sw ~port:0)
+
+(* ------------------------------------------------------------------ *)
+(* Netsvc outbound error paths (driven board-to-board: two full Apiary
+   boards on one switch, callers using Netsvc.remote_request) *)
+
+module Board = Apiary_apps.Board
+module Netsvc = Apiary_net.Netsvc
+module Kernel = Apiary_core.Kernel
+module Shell = Apiary_core.Shell
+module Accels = Apiary_accel.Accels
+
+(* Two boards on one ToR switch; returns (sim, board_a, board_b). *)
+let mk_two_boards () =
+  let sim = Sim.create () in
+  let a = Board.create sim ~switch_ports:4 in
+  let bd =
+    Board.create sim ~attach:(a.Board.switch, 1) ~mac_addr:0x02_0000_0B0001
+  in
+  (sim, a, bd)
+
+let with_board_tile board ~delay f =
+  match Board.user_tiles board with
+  | tile :: _ ->
+    Kernel.install board.Board.kernel ~tile
+      (Shell.behavior "driver" ~on_boot:(fun sh ->
+           Sim.after (Shell.sim sh) delay (fun () -> f sh)))
+  | [] -> Alcotest.fail "no free tile"
+
+let test_netsvc_outbound_unknown_service () =
+  let sim, a, bd = mk_two_boards () in
+  let status = ref None in
+  with_board_tile a ~delay:2_000 (fun sh ->
+      Shell.connect sh ~service:"net" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok net ->
+            Netsvc.remote_request sh net ~dst_mac:bd.Board.fpga_mac_addr
+              ~service:"nope" ~op:1 (b "q") (fun r ->
+                match r with
+                | Ok rsp -> status := Some rsp.Netproto.status
+                | Error _ -> ())));
+  Sim.run_for sim 100_000;
+  (match !status with
+  | Some Netproto.Service_unavailable -> ()
+  | Some _ -> Alcotest.fail "expected Service_unavailable"
+  | None -> Alcotest.fail "no response");
+  Alcotest.(check bool) "remote board counted unavailable" true
+    (bd.Board.net_stats.Netsvc.unavailable >= 1)
+
+let test_netsvc_malformed_frame_counted () =
+  let sim = Sim.create () in
+  let board = Board.create sim in
+  let mac, addr = Board.add_client_port board ~port:1 () in
+  Sim.after sim 2_000 (fun () ->
+      ignore
+        (Mac.send mac
+           (Frame.make ~dst:board.Board.fpga_mac_addr ~src:addr
+              (b "not a netproto frame at all"))));
+  Sim.run_for sim 50_000;
+  Alcotest.(check int) "bad frame counted" 1
+    board.Board.net_stats.Netsvc.bad_frames
+
+let test_netsvc_concurrent_reply_matching () =
+  let sim, a, bd = mk_two_boards () in
+  (* Echo service on board B; board A issues 4 overlapping outbound
+     calls with distinct bodies — each callback must get its own body
+     back despite all four sharing the network tile's pending table. *)
+  (match Board.user_tiles bd with
+  | tile :: _ ->
+    Kernel.install bd.Board.kernel ~tile (Accels.echo ~service:"mirror" ())
+  | [] -> Alcotest.fail "no tile on board B");
+  let ok = ref 0 and wrong = ref 0 in
+  with_board_tile a ~delay:3_000 (fun sh ->
+      Shell.connect sh ~service:"net" (fun r ->
+          match r with
+          | Error _ -> ()
+          | Ok net ->
+            for i = 0 to 3 do
+              let body = Bytes.of_string (Printf.sprintf "payload-%d" i) in
+              Netsvc.remote_request sh net ~dst_mac:bd.Board.fpga_mac_addr
+                ~service:"mirror" ~op:Accels.op_echo body (fun r ->
+                  match r with
+                  | Ok rsp when rsp.Netproto.status = Netproto.Ok_resp ->
+                    if Bytes.equal rsp.Netproto.body body then incr ok
+                    else incr wrong
+                  | _ -> ())
+            done));
+  Sim.run_for sim 200_000;
+  Alcotest.(check int) "no cross-matched replies" 0 !wrong;
+  Alcotest.(check int) "all four matched" 4 !ok;
+  Alcotest.(check bool) "outbound counted" true
+    (a.Board.net_stats.Netsvc.outbound >= 4)
+
 let qc = QCheck_alcotest.to_alcotest
 
 let () =
@@ -285,7 +426,22 @@ let () =
           Alcotest.test_case "100G ring" `Quick test_hundredg_ring_backpressure;
           Alcotest.test_case "portable adapter" `Quick test_portable_adapter_both_generations;
         ] );
-      ("switch", [ Alcotest.test_case "learn+forward" `Quick test_switch_learns_and_forwards ]);
+      ( "switch",
+        [
+          Alcotest.test_case "learn+forward" `Quick test_switch_learns_and_forwards;
+          Alcotest.test_case "bounded fdb" `Quick test_switch_bounded_fdb;
+          Alcotest.test_case "port counters + down" `Quick
+            test_switch_port_counters_and_down;
+        ] );
+      ( "netsvc",
+        [
+          Alcotest.test_case "outbound unknown service" `Quick
+            test_netsvc_outbound_unknown_service;
+          Alcotest.test_case "malformed frame counted" `Quick
+            test_netsvc_malformed_frame_counted;
+          Alcotest.test_case "concurrent reply matching" `Quick
+            test_netsvc_concurrent_reply_matching;
+        ] );
       ( "client",
         [
           Alcotest.test_case "closed loop window" `Quick test_client_closed_loop_keeps_window;
