@@ -2,6 +2,8 @@
    cycle/time conversions and common simulation setups. *)
 
 module Sim = Apiary_engine.Sim
+module Par_sim = Apiary_engine.Par_sim
+module Profile = Apiary_engine.Profile
 module Stats = Apiary_engine.Stats
 
 let cycle_ns = 4.0 (* 250 MHz fabric *)
@@ -36,6 +38,17 @@ let f2 v = Printf.sprintf "%.2f" v
 let i = string_of_int
 let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
 
+let commas n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun idx c ->
+      if idx > 0 && (len - idx) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let p50 h = Stats.Histogram.percentile h 50.0
 let p99 h = Stats.Histogram.percentile h 99.0
 
@@ -55,6 +68,17 @@ let domain_count () =
   match Sys.getenv_opt "APIARY_DOMAINS" with
   | Some s -> (try max 1 (int_of_string s) with _ -> 1)
   | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+(* APIARY_PAR selects the conservative parallel-in-time engine:
+   [boards] partitions E12 racks one-board-per-domain (lookahead = the
+   uplink's 126 cycles), [mesh] stripes E3's standalone meshes by
+   columns (lookahead = the 1-cycle router link). Anything else — or
+   unset — runs the reference sequential engine. *)
+let par_mode () =
+  match Sys.getenv_opt "APIARY_PAR" with
+  | Some "boards" -> `Boards
+  | Some "mesh" -> `Mesh
+  | _ -> `Off
 
 let parallel_map f items =
   let items = Array.of_list items in
@@ -90,7 +114,16 @@ let parallel_map f items =
 (* Perf self-measurement (--perf). *)
 
 let perf_enabled = ref false
-let perf_records : (string * float * int) list ref = ref []
+
+type perf_record = {
+  pr_id : string;
+  pr_wall_s : float;
+  pr_cycles : int;
+  pr_skipped : int;  (* cycles fast-forwarded through quiescence *)
+  pr_stall_s : float;  (* barrier stall (parallel engine only) *)
+}
+
+let perf_records : perf_record list ref = ref []
 
 (* Wall-clock an experiment and record simulated cycles advanced across
    all sims (including parallel domains) while it ran. *)
@@ -98,11 +131,20 @@ let timed id f () =
   if not !perf_enabled then f ()
   else begin
     let cycles0 = Sim.total_cycles () in
+    let skipped0 = Sim.total_skipped () in
+    let stall0 = Par_sim.total_barrier_stall_s () in
     let t0 = Unix.gettimeofday () in
     f ();
     let dt = Unix.gettimeofday () -. t0 in
-    let dc = Sim.total_cycles () - cycles0 in
-    perf_records := (id, dt, dc) :: !perf_records
+    perf_records :=
+      {
+        pr_id = id;
+        pr_wall_s = dt;
+        pr_cycles = Sim.total_cycles () - cycles0;
+        pr_skipped = Sim.total_skipped () - skipped0;
+        pr_stall_s = Par_sim.total_barrier_stall_s () -. stall0;
+      }
+      :: !perf_records
   end
 
 let write_perf_json path =
@@ -110,24 +152,40 @@ let write_perf_json path =
   let records = List.rev !perf_records in
   output_string oc "{\n  \"experiments\": [\n";
   List.iteri
-    (fun i (id, dt, dc) ->
+    (fun i r ->
       Printf.fprintf oc
-        "    {\"id\": \"%s\", \"wall_s\": %.3f, \"sim_cycles\": %d, \"cycles_per_s\": %.0f}%s\n"
-        id dt dc
-        (if dt > 0.0 then float_of_int dc /. dt else 0.0)
+        "    {\"id\": \"%s\", \"wall_s\": %.3f, \"sim_cycles\": %d, \"cycles_per_s\": %.0f, \"skipped_cycles\": %d%s}%s\n"
+        r.pr_id r.pr_wall_s r.pr_cycles
+        (if r.pr_wall_s > 0.0 then float_of_int r.pr_cycles /. r.pr_wall_s
+         else 0.0)
+        r.pr_skipped
+        (if r.pr_stall_s > 0.0 then
+           Printf.sprintf ", \"barrier_stall_s\": %.3f" r.pr_stall_s
+         else "")
         (if i = List.length records - 1 then "" else ","))
     records;
   output_string oc "  ]\n}\n";
   close_out oc;
   Printf.printf "\nperf: wrote %s\n" path
 
-let commas n =
-  let s = string_of_int n in
-  let len = String.length s in
-  let buf = Buffer.create (len + (len / 3)) in
-  String.iteri
-    (fun idx c ->
-      if idx > 0 && (len - idx) mod 3 = 0 then Buffer.add_char buf ',';
-      Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Hot-path profile (APIARY_PROF=1): cumulative wall time and invocation
+   count per ticker name, aggregated across every simulator in the
+   process. *)
+let print_profile () =
+  if Profile.enabled () then begin
+    match Profile.snapshot () with
+    | [] -> ()
+    | rows ->
+      subhead "ticker profile (APIARY_PROF)";
+      table
+        [ "ticker"; "calls"; "seconds"; "ns/call" ]
+        (List.map
+           (fun (name, calls, seconds) ->
+             [
+               name;
+               commas calls;
+               Printf.sprintf "%.3f" seconds;
+               f1 (seconds *. 1e9 /. float_of_int (max 1 calls));
+             ])
+           rows)
+  end

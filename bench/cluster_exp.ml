@@ -8,6 +8,7 @@
    failover. APIARY_E12_SMALL=1 shrinks the sweep for CI smoke runs. *)
 
 module Sim = Apiary_engine.Sim
+module Par_sim = Apiary_engine.Par_sim
 module Rng = Apiary_engine.Rng
 module Stats = Apiary_engine.Stats
 module Shell = Apiary_core.Shell
@@ -19,6 +20,38 @@ open Bench_util
 
 let small () = Sys.getenv_opt "APIARY_E12_SMALL" <> None
 let bytes_of n = Bytes.make n 'x'
+
+(* Build a rack, let [body] populate it (returning the result
+   extractor), run for [duration], extract. Under APIARY_PAR=boards the
+   rack is partitioned one-board-per-domain with the board uplink's
+   126-cycle latency as lookahead and executed by the parallel engine —
+   byte-identical results, wall-clock spread over the domains. *)
+let with_rack ~boards ~clients ~duration body =
+  match par_mode () with
+  | `Boards ->
+    let eng =
+      Par_sim.create ~mode:Par_sim.Par ~lookahead:Cluster.lookahead
+        ~n:(boards + 1) ()
+    in
+    let sim = Par_sim.sim eng 0 in
+    let cluster =
+      Cluster.create ~engine:eng sim ~boards ~client_ports:(clients + 1)
+    in
+    let finish = body sim cluster in
+    Par_sim.run_until eng duration;
+    Par_sim.shutdown eng;
+    finish ()
+  | `Mesh | `Off ->
+    let sim = Sim.create () in
+    let cluster = Cluster.create sim ~boards ~client_ports:(clients + 1) in
+    let finish = body sim cluster in
+    Sim.run_for sim duration;
+    finish ()
+
+(* The parallel engine already owns the cores; nesting sweep-level
+   domain parallelism on top would oversubscribe them. *)
+let sweep_map f items =
+  if par_mode () = `Boards then List.map f items else parallel_map f items
 
 (* Deterministic keyed KV workload: work item [n] touches key
    [n mod 167]; even items PUT, odd items GET. *)
@@ -41,26 +74,29 @@ let mk_rack sim ~boards ~clients =
    offered load and serving capacity scale with N. *)
 
 let e12a_run ~boards ~duration =
-  let sim = Sim.create () in
-  let cluster = mk_rack sim ~boards ~clients:boards in
-  for b = 0 to boards - 1 do
-    ignore (Cluster.install cluster ~board:b ~service:"kv" (fst (Kv.behavior ())))
-  done;
-  let clients =
-    List.init boards (fun _ ->
-        Shard_client.create cluster ~service:"kv" ~op:Kv.Proto.opcode
-          ~route:Shard_client.By_key ~gen:(kv_gen 64))
-  in
-  Sim.after sim 3_000 (fun () ->
-      List.iter (fun c -> Shard_client.start c ~concurrency:16) clients);
-  Sim.run_for sim duration;
-  List.iter Shard_client.stop clients;
-  let lat = Stats.Histogram.create "e12a" in
-  List.iter
-    (fun c -> Stats.Histogram.merge_into ~src:(Shard_client.latency c) ~dst:lat)
-    clients;
-  let ops = List.fold_left (fun a c -> a + Shard_client.completed c) 0 clients in
-  (ops, p50 lat, p99 lat)
+  with_rack ~boards ~clients:boards ~duration (fun sim cluster ->
+      for b = 0 to boards - 1 do
+        ignore
+          (Cluster.install cluster ~board:b ~service:"kv" (fst (Kv.behavior ())))
+      done;
+      let clients =
+        List.init boards (fun _ ->
+            Shard_client.create cluster ~service:"kv" ~op:Kv.Proto.opcode
+              ~route:Shard_client.By_key ~gen:(kv_gen 64))
+      in
+      Sim.after sim 3_000 (fun () ->
+          List.iter (fun c -> Shard_client.start c ~concurrency:16) clients);
+      fun () ->
+        List.iter Shard_client.stop clients;
+        let lat = Stats.Histogram.create "e12a" in
+        List.iter
+          (fun c ->
+            Stats.Histogram.merge_into ~src:(Shard_client.latency c) ~dst:lat)
+          clients;
+        let ops =
+          List.fold_left (fun a c -> a + Shard_client.completed c) 0 clients
+        in
+        (ops, p50 lat, p99 lat))
 
 (* ------------------------------------------------------------------ *)
 (* E12b — the cost of location transparency: the same service invoked
@@ -102,27 +138,26 @@ let e12b_run ~duration =
    round-robin spreading (E7a's intra-board sweep, taken cross-board). *)
 
 let e12c_run ~boards ~duration =
-  let sim = Sim.create () in
-  let cluster = mk_rack sim ~boards ~clients:boards in
-  for b = 0 to boards - 1 do
-    ignore
-      (Cluster.install cluster ~board:b ~service:"enc"
-         (Accels.video_encoder ~service:"enc" ()))
-  done;
-  let chunk =
-    let rng = Rng.create ~seed:11 in
-    Rng.bytes_compressible rng 1024 ~redundancy:0.85
-  in
-  let clients =
-    List.init boards (fun _ ->
-        Shard_client.create cluster ~service:"enc" ~op:Accels.op_encode
-          ~route:Shard_client.Round_robin ~gen:(fun _ -> ("", chunk)))
-  in
-  Sim.after sim 3_000 (fun () ->
-      List.iter (fun c -> Shard_client.start c ~concurrency:16) clients);
-  Sim.run_for sim duration;
-  List.iter Shard_client.stop clients;
-  List.fold_left (fun a c -> a + Shard_client.completed c) 0 clients
+  with_rack ~boards ~clients:boards ~duration (fun sim cluster ->
+      for b = 0 to boards - 1 do
+        ignore
+          (Cluster.install cluster ~board:b ~service:"enc"
+             (Accels.video_encoder ~service:"enc" ()))
+      done;
+      let chunk =
+        let rng = Rng.create ~seed:11 in
+        Rng.bytes_compressible rng 1024 ~redundancy:0.85
+      in
+      let clients =
+        List.init boards (fun _ ->
+            Shard_client.create cluster ~service:"enc" ~op:Accels.op_encode
+              ~route:Shard_client.Round_robin ~gen:(fun _ -> ("", chunk)))
+      in
+      Sim.after sim 3_000 (fun () ->
+          List.iter (fun c -> Shard_client.start c ~concurrency:16) clients);
+      fun () ->
+        List.iter Shard_client.stop clients;
+        List.fold_left (fun a c -> a + Shard_client.completed c) 0 clients)
 
 (* ------------------------------------------------------------------ *)
 (* E12d — failover drill: kill one of four boards mid-run, watch the
@@ -134,28 +169,36 @@ let e12c_run ~boards ~duration =
 let e12d_run ~duration ~kill_at ~restore_at ~interval =
   let boards = 4 in
   let victim = 2 in
-  let sim = Sim.create () in
-  let cluster = mk_rack sim ~boards ~clients:boards in
-  for b = 0 to boards - 1 do
-    ignore (Cluster.install cluster ~board:b ~service:"kv" (fst (Kv.behavior ())))
-  done;
   let series = Stats.Series.create "e12d" ~interval in
   let clients =
-    List.init boards (fun _ ->
-        Shard_client.create cluster ~timeout:20_000 ~service:"kv"
-          ~op:Kv.Proto.opcode ~route:Shard_client.By_key ~gen:(kv_gen 64))
+    with_rack ~boards ~clients:boards ~duration (fun sim cluster ->
+        for b = 0 to boards - 1 do
+          ignore
+            (Cluster.install cluster ~board:b ~service:"kv"
+               (fst (Kv.behavior ())))
+        done;
+        let clients =
+          List.init boards (fun _ ->
+              Shard_client.create cluster ~timeout:20_000 ~service:"kv"
+                ~op:Kv.Proto.opcode ~route:Shard_client.By_key ~gen:(kv_gen 64))
+        in
+        List.iter
+          (fun c ->
+            Shard_client.set_on_complete c (fun ~now ->
+                Stats.Series.record series ~now 1.0))
+          clients;
+        Sim.after sim 3_000 (fun () ->
+            List.iter (fun c -> Shard_client.start c ~concurrency:8) clients);
+        (* Failure injection and recovery both run on the rack simulator
+           (member 0 when partitioned): switch port state, directory and
+           ring mutations never leave that domain. *)
+        Sim.after sim kill_at (fun () -> Cluster.kill cluster ~board:victim);
+        Sim.after sim restore_at (fun () ->
+            Cluster.restore cluster ~board:victim);
+        fun () ->
+          List.iter Shard_client.stop clients;
+          clients)
   in
-  List.iter
-    (fun c ->
-      Shard_client.set_on_complete c (fun ~now ->
-          Stats.Series.record series ~now 1.0))
-    clients;
-  Sim.after sim 3_000 (fun () ->
-      List.iter (fun c -> Shard_client.start c ~concurrency:8) clients);
-  Sim.after sim kill_at (fun () -> Cluster.kill cluster ~board:victim);
-  Sim.after sim restore_at (fun () -> Cluster.restore cluster ~board:victim);
-  Sim.run_for sim duration;
-  List.iter Shard_client.stop clients;
   let buckets = Stats.Series.buckets series in
   let avg_over lo hi =
     let sel =
@@ -198,7 +241,7 @@ let e12 () =
 
   subhead "E12a: sharded KV, one replica + one client per board";
   let kv_results =
-    parallel_map (fun boards -> e12a_run ~boards ~duration) board_counts
+    sweep_map (fun boards -> e12a_run ~boards ~duration) board_counts
   in
   let base_ops =
     match kv_results with (ops, _, _) :: _ -> max 1 ops | [] -> 1
@@ -234,7 +277,7 @@ let e12 () =
   subhead "E12c: stateless encoders, round-robin across boards";
   let enc_counts = if sm then [ 1; 2 ] else [ 1; 2; 4 ] in
   let enc_results =
-    parallel_map (fun boards -> e12c_run ~boards ~duration) enc_counts
+    sweep_map (fun boards -> e12c_run ~boards ~duration) enc_counts
   in
   let enc_base = match enc_results with n :: _ -> max 1 n | [] -> 1 in
   table

@@ -50,6 +50,7 @@ let () =
     if bad <> [] || List.mem "--help" args || List.mem "-h" args then usage ()
     else
       List.iter (fun a -> run_one (a, List.assoc a registry)) args);
+  Bench_util.print_profile ();
   (* Nothing ran (e.g. bad experiment name): don't clobber a previous
      perf record with an empty one. *)
   if !Bench_util.perf_enabled && !Bench_util.perf_records <> [] then

@@ -31,7 +31,7 @@ let arm sh plan =
               let junk = Rng.bytes (Shell.rng sh) payload_bytes in
               (* A flood is never quiescent: even when its pushes fail the
                  drop counters advance, so it must run every cycle. *)
-              Sim.add_clocked sim (fun () ->
+              Sim.add_clocked ~name:"accel.flood" sim (fun () ->
                   Shell.send_data sh conn ~opcode:0xF1 junk;
                   Sim.Busy)))
   | Mem_stomp_at { at; addr; len } ->

@@ -23,7 +23,7 @@ let gbps_to_bytes_per_cycle g =
   g *. 0.5
 
 let create ?kernel_cfg ?(mac_gen = Mac.Gen_100g) ?(switch_ports = 8) ?net_tile
-    ?attach:attach_to ?(mac_addr = fpga_mac_addr) sim =
+    ?attach:attach_to ?(mac_addr = fpga_mac_addr) ?ext_link sim =
   let kcfg = Option.value ~default:Kernel.default_config kernel_cfg in
   let kernel = Kernel.create sim kcfg in
   let switch, board_port =
@@ -33,7 +33,11 @@ let create ?kernel_cfg ?(mac_gen = Mac.Gen_100g) ?(switch_ports = 8) ?net_tile
   in
   let gbps = match mac_gen with Mac.Gen_10g -> 10.0 | Mac.Gen_100g -> 100.0 in
   let board_link =
-    Link.create sim ~bytes_per_cycle:(gbps_to_bytes_per_cycle gbps) ~prop_cycles:125
+    match ext_link with
+    | Some l -> l
+    | None ->
+      Link.create sim ~bytes_per_cycle:(gbps_to_bytes_per_cycle gbps)
+        ~prop_cycles:125
   in
   Switch.attach switch ~port:board_port board_link Link.B;
   let fpga_mac = Mac.create sim mac_gen board_link Link.A in

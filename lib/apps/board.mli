@@ -27,6 +27,10 @@ type t = {
 val fpga_mac_addr : int
 (** 0x02_000000_F0CA (locally administered). *)
 
+val gbps_to_bytes_per_cycle : float -> float
+(** Link rate conversion at the 250 MHz fabric clock (10 Gb/s = 5
+    B/cycle). *)
+
 val create :
   ?kernel_cfg:Kernel.config ->
   ?mac_gen:Mac.generation ->
@@ -34,6 +38,7 @@ val create :
   ?net_tile:int ->
   ?attach:Switch.t * int ->
   ?mac_addr:int ->
+  ?ext_link:Link.t ->
   Sim.t ->
   t
 (** Defaults: 100G board MAC on switch port 0, 8-port 1 µs switch, the
@@ -44,7 +49,12 @@ val create :
     several boards sharing one ToR switch is how {!Apiary_cluster}
     builds a rack. [switch_ports] is then ignored. [mac_addr] overrides
     the board's MAC address (mandatory for multi-board setups, where
-    each board needs a distinct identity). *)
+    each board needs a distinct identity).
+
+    [ext_link] supplies the board's uplink instead of creating one —
+    used by {!Apiary_cluster} to hand in a {!Link.create_split} when the
+    board and its ToR switch live on different Par_sim partitions. The
+    board's MAC is always side [A]; the switch side [B]. *)
 
 val add_client_port :
   t -> port:int -> ?gbps:float -> unit -> Mac.t * int

@@ -1,4 +1,5 @@
 module Sim = Apiary_engine.Sim
+module Par_sim = Apiary_engine.Par_sim
 module Shell = Apiary_core.Shell
 module Kernel = Apiary_core.Kernel
 module Trace = Apiary_core.Trace
@@ -6,6 +7,7 @@ module Switch = Apiary_net.Switch
 module Netsvc = Apiary_net.Netsvc
 module Netproto = Apiary_net.Netproto
 module Mac = Apiary_net.Mac
+module Link = Apiary_net.Link
 module Board = Apiary_apps.Board
 
 type t = {
@@ -18,15 +20,51 @@ type t = {
   mutable on_up : (int -> unit) list;
 }
 
+(* The board uplink is a 100G link (50 B/cycle) with 125 cycles of
+   propagation; serialization adds at least one cycle, so no frame
+   crosses it in under 126 — the lookahead a board-per-partition
+   Par_sim may run with (Link.min_latency of the uplink). *)
+let uplink_bytes_per_cycle = Board.gbps_to_bytes_per_cycle 100.0
+let uplink_prop_cycles = 125
+let lookahead = uplink_prop_cycles + 1
+
 let create ?kernel_cfg ?(client_ports = 8) ?(switch_latency = 250)
-    ?fdb_capacity sim ~boards =
+    ?fdb_capacity ?engine sim ~boards =
   if boards <= 0 then invalid_arg "Cluster.create: boards must be positive";
+  (* Partitioned rack: member 0 owns the switch, the external clients
+     and every piece of rack-shared state (directory, shard rings,
+     failure injection); member [id+1] owns board [id]'s entire fabric.
+     The only cross-partition traffic is frames on the board uplinks,
+     which the split links stage through Par_sim.post. *)
+  let sim, board_sim, mk_uplink =
+    match engine with
+    | None -> (sim, (fun _ -> sim), fun _ -> None)
+    | Some eng ->
+      if Par_sim.n_domains eng <> boards + 1 then
+        invalid_arg "Cluster.create: engine must have boards+1 domains";
+      if Par_sim.lookahead eng > lookahead then
+        invalid_arg "Cluster.create: engine lookahead exceeds uplink latency";
+      let csim = Par_sim.sim eng 0 in
+      ( csim,
+        (fun id -> Par_sim.sim eng (id + 1)),
+        fun id ->
+          Some
+            (Link.create_split ~sim_a:(Par_sim.sim eng (id + 1)) ~sim_b:csim
+               ~post_to_a:(fun ~time fn ->
+                 Par_sim.post eng ~src:0 ~dst:(id + 1) ~time fn)
+               ~post_to_b:(fun ~time fn ->
+                 Par_sim.post eng ~src:(id + 1) ~dst:0 ~time fn)
+               ~bytes_per_cycle:uplink_bytes_per_cycle
+               ~prop_cycles:uplink_prop_cycles) )
+  in
   let switch =
     Switch.create ?fdb_capacity sim ~nports:(boards + client_ports)
       ~latency:switch_latency
   in
   let nodes =
-    Array.init boards (fun id -> Node.create ?kernel_cfg sim ~switch ~id ~port:id)
+    Array.init boards (fun id ->
+        Node.create ?kernel_cfg ?ext_link:(mk_uplink id) (board_sim id) ~switch
+          ~id ~port:id)
   in
   {
     sim;
@@ -101,10 +139,20 @@ let restore t ~board =
 (* External clients hang off the same ToR switch, on ports above the
    boards'. *)
 
-let add_client ?gbps t =
+let add_client ?(gbps = 10.0) t =
   let port = t.next_client_port in
   t.next_client_port <- port + 1;
-  Board.add_client_port (Node.board t.nodes.(0)) ~port ?gbps ()
+  (* Client links live wholly on the rack simulator (member 0 under a
+     partitioned engine) — never on a board's, whose partition the
+     switch-side delivery would then cross without staging. *)
+  let link =
+    Link.create t.sim
+      ~bytes_per_cycle:(Board.gbps_to_bytes_per_cycle gbps)
+      ~prop_cycles:125
+  in
+  Switch.attach t.switch ~port link Link.B;
+  let mac = Mac.create t.sim Mac.Gen_10g link Link.A in
+  (mac, 0x02_0000_0C0000 + port)
 
 (* ------------------------------------------------------------------ *)
 (* Location-transparent invocation (paper §1: "calls to other modules

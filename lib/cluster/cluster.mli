@@ -22,17 +22,38 @@ module Mac := Apiary_net.Mac
 
 type t
 
+val lookahead : int
+(** Minimum send-to-deliver latency of a board uplink (126 cycles:
+    125 of propagation + ≥1 of serialization) — the widest window a
+    board-per-partition engine for this rack may use. *)
+
 val create :
   ?kernel_cfg:Apiary_core.Kernel.config ->
   ?client_ports:int ->
   ?switch_latency:int ->
   ?fdb_capacity:int ->
+  ?engine:Apiary_engine.Par_sim.t ->
   Sim.t ->
   boards:int ->
   t
 (** Boards occupy switch ports [0 .. boards-1]; [client_ports] more
     (default 8) are reserved for {!add_client}. [switch_latency]
-    defaults to 250 cycles (1 µs ToR at 250 MHz). *)
+    defaults to 250 cycles (1 µs ToR at 250 MHz).
+
+    With [engine] (which must have exactly [boards + 1] domains and a
+    lookahead of at most {!lookahead}), the rack is partitioned: member
+    0 owns the ToR switch, external clients and all rack-shared state;
+    member [id + 1] owns board [id]'s fabric; board uplinks become
+    {!Apiary_net.Link.create_split} partition boundaries. [sim] is
+    ignored in that case. Run the rack through {!Apiary_engine.Par_sim}
+    — results are byte-identical between its [Seq] and [Par] modes.
+
+    Partitioned-rack restriction: the {!directory} (like all rack-shared
+    state) belongs to member 0, so {!connect}/{!resolve} must only be
+    driven from member-0 code — external clients, not board shells —
+    while a partitioned run is in flight. Client-driven workloads (the
+    sharded store, the load balancer, the failover drill) satisfy this;
+    board-to-board invocation microbenchmarks should run unpartitioned. *)
 
 val sim : t -> Sim.t
 val switch : t -> Switch.t

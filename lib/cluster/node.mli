@@ -24,7 +24,17 @@ type t = {
 val mac_of_id : int -> int
 (** Board MAC addresses: 0x02_0000_0B0000 + id. *)
 
-val create : ?kernel_cfg:Kernel.config -> Sim.t -> switch:Switch.t -> id:int -> port:int -> t
+val create :
+  ?kernel_cfg:Kernel.config ->
+  ?ext_link:Apiary_net.Link.t ->
+  Sim.t ->
+  switch:Switch.t ->
+  id:int ->
+  port:int ->
+  t
+(** [sim] is the board's own simulator; [ext_link] (see
+    {!Apiary_apps.Board.create}) carries its uplink when that simulator
+    is a Par_sim partition separate from the switch's. *)
 
 val id : t -> int
 val port : t -> int

@@ -686,7 +686,7 @@ let create sim ~tile cfg fabric ~trace ~privileged behavior =
       hang_cycles = 0;
     }
   in
-  Sim.add_clocked sim (fun () -> tick t);
+  Sim.add_clocked ~name:"monitor" sim (fun () -> tick t);
   (* Capture the behavior now: if the slot is reprogrammed before boot
      fires, the stale boot must not run the new behavior a second time. *)
   Sim.after sim 1 (fun () -> if t.behavior == behavior then behavior.on_boot t);

@@ -26,6 +26,19 @@ let ceil_pow2 n =
   done;
   !r
 
+(* Make room for [n] more committed entries ([x] seeds a fresh array). *)
+let grow_ring t n x =
+  if t.len + n > Array.length t.ring then begin
+    let size = ceil_pow2 (max 8 (t.len + n)) in
+    let nr = Array.make size x in
+    for i = 0 to t.len - 1 do
+      nr.(i) <- t.ring.((t.head + i) land t.mask)
+    done;
+    t.ring <- nr;
+    t.mask <- size - 1;
+    t.head <- 0
+  end
+
 let create sim ?(capacity = max_int) name =
   assert (capacity > 0);
   let t =
@@ -48,16 +61,7 @@ let create sim ?(capacity = max_int) name =
       t.dirty <- false;
       let n = t.n_staged in
       if n > 0 then begin
-        if t.len + n > Array.length t.ring then begin
-          let size = ceil_pow2 (max 8 (t.len + n)) in
-          let nr = Array.make size t.staged.(0) in
-          for i = 0 to t.len - 1 do
-            nr.(i) <- t.ring.((t.head + i) land t.mask)
-          done;
-          t.ring <- nr;
-          t.mask <- size - 1;
-          t.head <- 0
-        end;
+        grow_ring t n t.staged.(0);
         for i = 0 to n - 1 do
           t.ring.((t.head + t.len + i) land t.mask) <- t.staged.(i)
         done;
@@ -112,6 +116,12 @@ let iter f t =
   for i = 0 to t.len - 1 do
     f t.ring.((t.head + i) land t.mask)
   done
+
+let inject t x =
+  if is_full t then failwith (Printf.sprintf "Fifo.inject: %s full" t.name);
+  grow_ring t 1 x;
+  t.ring.((t.head + t.len) land t.mask) <- x;
+  t.len <- t.len + 1
 
 let clear t =
   (* A pending dirty entry stays enlisted; its commit finds an empty

@@ -50,6 +50,16 @@ val space : 'a t -> int
 val is_empty : 'a t -> bool
 val is_full : 'a t -> bool
 
+val inject : 'a t -> 'a -> unit
+(** Insert a value directly into committed storage, bypassing the
+    staging phase. For cross-partition boundary deliveries in the
+    parallel engine: the value was staged and committed on the sending
+    partition in an earlier cycle, so re-staging it here would charge a
+    second cycle of latency. Runs in the event phase, before any ticker
+    can look, so consumers cannot distinguish it from a commit that
+    happened at the end of the previous cycle. Raises [Failure] when
+    full. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 (** Iterate committed entries, oldest first. *)
 

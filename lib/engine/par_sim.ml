@@ -1,0 +1,210 @@
+type mode = Seq | Par
+
+(* A staged cross-partition event. [seq] is per-source and assigned at
+   post time, so the barrier merge order — (time, src, seq) — depends
+   only on each member's own deterministic execution. *)
+type post_rec = { p_time : int; p_src : int; p_seq : int; p_dst : int;
+                  p_fn : unit -> unit }
+
+(* Worker handshake (Par mode). Workers park in [wait] until the
+   coordinator opens a window by bumping [epoch]; each runs its member
+   to [target] and bumps [n_done]. All fields are accessed under
+   [lock]. *)
+type shared = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable epoch : int;
+  mutable target : int;
+  mutable n_done : int;
+  mutable quit : bool;
+  mutable failure : exn option;
+}
+
+type t = {
+  mode : mode;
+  lookahead : int;
+  sims : Sim.t array;
+  (* Single-producer out-queues: member i appends to out.(i) during its
+     window; only the coordinator reads them, at the barrier. *)
+  out : post_rec list ref array;
+  out_seq : int array;
+  mutable clock : int;
+  mutable window_end : int;  (* first cycle members may NOT reach posts into *)
+  sh : shared;
+  mutable workers : unit Domain.t array;
+  mutable stall_s : float;
+}
+
+(* Microseconds of barrier stall across every instance in the process. *)
+let global_stall_us = Atomic.make 0
+let total_barrier_stall_s () = float_of_int (Atomic.get global_stall_us) *. 1e-6
+
+let create ?(mode = Seq) ~lookahead ~n () =
+  if lookahead < 1 then invalid_arg "Par_sim.create: lookahead must be >= 1";
+  if n < 1 then invalid_arg "Par_sim.create: n must be >= 1";
+  let sims = Array.init n (fun _ -> Sim.create ()) in
+  (* Member 0 is the counted sim; the others would multiply-report the
+     same simulated interval. *)
+  for i = 1 to n - 1 do
+    Sim.set_counted sims.(i) false
+  done;
+  {
+    mode;
+    lookahead;
+    sims;
+    out = Array.init n (fun _ -> ref []);
+    out_seq = Array.make n 0;
+    clock = 0;
+    window_end = 0;
+    sh =
+      {
+        lock = Mutex.create ();
+        cond = Condition.create ();
+        epoch = 0;
+        target = 0;
+        n_done = 0;
+        quit = false;
+        failure = None;
+      };
+    workers = [||];
+    stall_s = 0.0;
+  }
+
+let mode t = t.mode
+let n_domains t = Array.length t.sims
+let lookahead t = t.lookahead
+let sim t i = t.sims.(i)
+let now t = t.clock
+let barrier_stall_s t = t.stall_s
+
+let post t ~src ~dst ~time fn =
+  if time < t.window_end then
+    invalid_arg
+      (Printf.sprintf
+         "Par_sim.post: time %d inside the open window (end %d) — lookahead \
+          violation from partition %d"
+         time t.window_end src);
+  let seq = t.out_seq.(src) in
+  t.out_seq.(src) <- seq + 1;
+  let q = t.out.(src) in
+  q := { p_time = time; p_src = src; p_seq = seq; p_dst = dst; p_fn = fn } :: !q
+
+let cmp_post a b =
+  let c = compare a.p_time b.p_time in
+  if c <> 0 then c
+  else
+    let c = compare a.p_src b.p_src in
+    if c <> 0 then c else compare a.p_seq b.p_seq
+
+(* Barrier merge: gather every member's staged posts, order them
+   deterministically, schedule into destinations. Runs on the
+   coordinating thread only. *)
+let drain t =
+  let all = ref [] in
+  Array.iter
+    (fun q ->
+      all := List.rev_append !q !all;
+      q := [])
+    t.out;
+  match !all with
+  | [] -> ()
+  | all ->
+    let arr = Array.of_list all in
+    Array.sort cmp_post arr;
+    Array.iter (fun p -> Sim.at t.sims.(p.p_dst) p.p_time p.p_fn) arr
+
+(* ------------------------------------------------------------------ *)
+(* Par mode: persistent worker per member 1..n-1; member 0 runs on the
+   coordinator so an n-way partition uses exactly n domains. *)
+
+let worker t i () =
+  let sh = t.sh in
+  let my_epoch = ref 0 in
+  let rec loop () =
+    Mutex.lock sh.lock;
+    while sh.epoch = !my_epoch && not sh.quit do
+      Condition.wait sh.cond sh.lock
+    done;
+    if sh.quit then Mutex.unlock sh.lock
+    else begin
+      my_epoch := sh.epoch;
+      let target = sh.target in
+      Mutex.unlock sh.lock;
+      (try Sim.run_until t.sims.(i) target
+       with e ->
+         Mutex.lock sh.lock;
+         if sh.failure = None then sh.failure <- Some e;
+         Mutex.unlock sh.lock);
+      Mutex.lock sh.lock;
+      sh.n_done <- sh.n_done + 1;
+      if sh.n_done = Array.length t.sims - 1 then Condition.broadcast sh.cond;
+      Mutex.unlock sh.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let ensure_workers t =
+  if Array.length t.workers = 0 && Array.length t.sims > 1 then begin
+    t.sh.quit <- false;
+    t.workers <-
+      Array.init (Array.length t.sims - 1) (fun i -> Domain.spawn (worker t (i + 1)))
+  end
+
+let shutdown t =
+  if Array.length t.workers > 0 then begin
+    let sh = t.sh in
+    Mutex.lock sh.lock;
+    sh.quit <- true;
+    Condition.broadcast sh.cond;
+    Mutex.unlock sh.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let run_window_seq t wend =
+  Array.iter (fun s -> Sim.run_until s wend) t.sims
+
+let run_window_par t wend =
+  ensure_workers t;
+  let sh = t.sh in
+  Mutex.lock sh.lock;
+  sh.epoch <- sh.epoch + 1;
+  sh.target <- wend;
+  sh.n_done <- 0;
+  Condition.broadcast sh.cond;
+  Mutex.unlock sh.lock;
+  Sim.run_until t.sims.(0) wend;
+  let t0 = Profile.now_s () in
+  Mutex.lock sh.lock;
+  while sh.n_done < Array.length t.sims - 1 do
+    Condition.wait sh.cond sh.lock
+  done;
+  let failure = sh.failure in
+  sh.failure <- None;
+  Mutex.unlock sh.lock;
+  let stall = Profile.now_s () -. t0 in
+  t.stall_s <- t.stall_s +. stall;
+  ignore (Atomic.fetch_and_add global_stall_us (int_of_float (stall *. 1e6)));
+  match failure with None -> () | Some e -> raise e
+
+let run_until t time =
+  if Array.length t.sims = 1 then begin
+    (* One partition: no boundaries, no windows. *)
+    t.window_end <- time;
+    Sim.run_until t.sims.(0) time;
+    drain t;
+    t.clock <- max t.clock time
+  end
+  else
+    while t.clock < time do
+      let wend = min (t.clock + t.lookahead) time in
+      t.window_end <- wend;
+      (match t.mode with
+      | Seq -> run_window_seq t wend
+      | Par -> run_window_par t wend);
+      drain t;
+      t.clock <- wend
+    done
+
+let run_for t n = run_until t (t.clock + n)

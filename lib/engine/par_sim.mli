@@ -1,0 +1,82 @@
+(** Conservative parallel-in-time coordination over several {!Sim}
+    instances (a "parallel discrete-event simulation" scheme, PDES).
+
+    A simulation is partitioned into [n] {e member domains}, one
+    {!Sim.t} each. Members tick independently inside a {e
+    synchronization window} whose width is the {e lookahead}: the
+    minimum latency of any cross-partition interaction. Within a window
+    a member may touch only its own simulator's state; anything bound
+    for another partition is staged with {!post} and carries an absolute
+    delivery cycle at least one window away. At each window barrier the
+    coordinator drains every member's staged posts, orders them by
+    [(time, source partition, source sequence)], and schedules them into
+    the destination simulators — so the merged event order is a pure
+    function of the inputs, independent of how member execution
+    interleaved in real time.
+
+    Two execution modes share that schedule:
+
+    - {b Seq} runs the members round-robin on the calling domain — the
+      reference engine;
+    - {b Par} runs each member on its own OCaml domain, with a barrier
+      per window.
+
+    Because members are isolated within a window and the merge order is
+    fixed, Par is byte-identical to Seq for fixed seeds; the cross-check
+    tests in [test/test_par.ml] enforce this. The lookahead rule is
+    checked at run time: a post inside the current window raises.
+
+    {!Sim.stop} is not honoured across windows — partitioned runs have
+    no global stop line short of the target cycle. *)
+
+module Sim := Sim
+
+type t
+
+type mode =
+  | Seq  (** windowed, single OS thread — the reference schedule *)
+  | Par  (** one OCaml domain per member, barrier per window *)
+
+val create : ?mode:mode -> lookahead:int -> n:int -> unit -> t
+(** [create ~mode ~lookahead ~n ()] makes [n] member simulators
+    (accessible via {!sim}) coordinated in windows of [lookahead]
+    cycles. [lookahead >= 1]; [n >= 1]. Default mode is [Seq]. Member 0
+    is the {e counted} simulator: only its cycles feed
+    {!Sim.total_cycles}, so a partitioned simulation reports its
+    simulated time once. *)
+
+val mode : t -> mode
+val n_domains : t -> int
+val lookahead : t -> int
+
+val sim : t -> int -> Sim.t
+(** The member simulator for partition [i] (0-based). *)
+
+val now : t -> int
+(** Cycles completed by every member (the barrier clock). *)
+
+val post : t -> src:int -> dst:int -> time:int -> (unit -> unit) -> unit
+(** Stage [fn] to run in the event phase of cycle [time] on member
+    [dst]'s simulator. Must be called from member [src]'s execution (its
+    out-queue is single-producer), or from the coordinating thread
+    between runs. Raises [Invalid_argument] if [time] lands inside the
+    window currently executing — a lookahead violation. *)
+
+val run_until : t -> int -> unit
+(** Advance every member to the target cycle, window by window. *)
+
+val run_for : t -> int -> unit
+
+val barrier_stall_s : t -> float
+(** Wall time the coordinator spent waiting at window barriers after
+    finishing its own member's work (Par mode only; 0 under Seq). *)
+
+val total_barrier_stall_s : unit -> float
+(** Process-wide barrier stall across all instances (atomic), for the
+    bench harness's perf record. *)
+
+val shutdown : t -> unit
+(** Join the worker domains (Par mode). Idempotent; workers are
+    respawned if the instance is run again. Leaked workers are parked in
+    a condition wait and die with the process, so forgetting this wastes
+    a thread, not correctness. *)

@@ -1,0 +1,39 @@
+(** Opt-in hot-path profiling for the simulation engine.
+
+    When [APIARY_PROF] is set in the environment, {!Sim.add_clocked}
+    wraps every clocked component so each tick is counted and
+    wall-timed, attributed to the component's registered name. The
+    bench harness ([--perf]) prints the aggregate so perf work can see
+    {e where} cycles go, not just how many were simulated.
+
+    When [APIARY_PROF] is unset, registration returns inert rows and
+    the tick path is untouched — profiling costs nothing unless asked
+    for.
+
+    Rows are written lock-free by whichever domain is ticking the
+    owning simulator (a simulator is ticked by exactly one domain at a
+    time); {!snapshot} is meant to be called between runs, from the
+    coordinating domain. *)
+
+type row = {
+  name : string;
+  mutable calls : int;  (** ticks executed *)
+  mutable seconds : float;  (** cumulative wall time inside the ticker *)
+}
+
+val enabled : unit -> bool
+(** True iff [APIARY_PROF] is set (read once, at first use). *)
+
+val register : string -> row
+(** Allocate a row under [name] and enlist it in the global registry.
+    Rows with the same name are aggregated by {!snapshot}. *)
+
+val now_s : unit -> float
+(** Wall clock in seconds (monotonic enough for cumulative deltas). *)
+
+val snapshot : unit -> (string * int * float) list
+(** [(name, calls, seconds)] aggregated over same-named rows, sorted by
+    cumulative seconds, largest first. *)
+
+val reset : unit -> unit
+(** Zero every registered row (keeps registrations). *)

@@ -18,6 +18,7 @@ type t = {
   mutable quiescent : bool;
   mutable next_wake : int;
   mutable skipped : int;
+  mutable counted : bool;
 }
 
 let cmp_event a b =
@@ -29,6 +30,11 @@ let cmp_event a b =
    the numerator of the bench harness's cycles/second figure. *)
 let global = Atomic.make 0
 let total_cycles () = Atomic.get global
+
+(* Fast-forwarded (not executed) cycles across all counted instances —
+   the numerator of the skipped-cycle ratio in perf reports. *)
+let global_skipped = Atomic.make 0
+let total_skipped () = Atomic.get global_skipped
 
 let create () =
   {
@@ -47,11 +53,16 @@ let create () =
     quiescent = false;
     next_wake = max_int;
     skipped = 0;
+    counted = true;
   }
 
 let now t = t.clock
 let cycles_skipped t = t.skipped
 let wake t = t.quiescent <- false
+
+(* A Par_sim partition counts its cycles once, through its coordinator,
+   not once per member domain. *)
+let set_counted t b = t.counted <- b
 
 (* A target equal to the current cycle is kept only while that cycle's
    event phase is still open (it has not started, or we are inside it);
@@ -95,12 +106,27 @@ let push_fn arr n fn =
   arr.(n) <- fn;
   arr
 
-let add_clocked t fn =
+let add_clocked ?(name = "clocked") t fn =
+  (* APIARY_PROF: count and wall-time every tick, attributed to [name].
+     The wrapper exists only when profiling is on; the default tick path
+     is unchanged. *)
+  let fn =
+    if not (Profile.enabled ()) then fn
+    else begin
+      let row = Profile.register name in
+      fun () ->
+        let t0 = Profile.now_s () in
+        let a = fn () in
+        row.Profile.calls <- row.Profile.calls + 1;
+        row.Profile.seconds <- row.Profile.seconds +. (Profile.now_s () -. t0);
+        a
+    end
+  in
   t.tickers <- push_fn t.tickers t.n_tickers fn;
   t.n_tickers <- t.n_tickers + 1;
   t.quiescent <- false
 
-let add_ticker t fn = add_clocked t (fun () -> fn (); Busy)
+let add_ticker ?name t fn = add_clocked ?name t (fun () -> fn (); Busy)
 
 let add_committer t fn =
   t.committers <- push_fn t.committers t.n_committers fn;
@@ -162,6 +188,7 @@ let stopped t = t.stop_requested
 let run_until t time =
   t.stop_requested <- false;
   let entry_clock = t.clock in
+  let entry_skipped = t.skipped in
   while t.clock < time && not t.stop_requested do
     (* Fast-forward across gaps where every clocked component is
        quiescent and no two-phase state is pending commit: jump to the
@@ -180,7 +207,10 @@ let run_until t time =
     end;
     if t.clock < time then step t
   done;
-  ignore (Atomic.fetch_and_add global (t.clock - entry_clock))
+  if t.counted then begin
+    ignore (Atomic.fetch_and_add global (t.clock - entry_clock));
+    ignore (Atomic.fetch_and_add global_skipped (t.skipped - entry_skipped))
+  end
 
 let run_for t n = run_until t (t.clock + n)
 let pending_events t = Heap.length t.events

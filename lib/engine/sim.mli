@@ -68,12 +68,14 @@ val every : t -> ?start:int -> int -> (unit -> unit) -> unit
 (** [every t ~start period f] runs [f] in the event phase each [period]
     cycles, first at cycle [start] (default: next multiple of [period]). *)
 
-val add_clocked : t -> (unit -> activity) -> unit
+val add_clocked : ?name:string -> t -> (unit -> activity) -> unit
 (** Register a per-cycle clocked component (phase 2). The callback runs
     every executed cycle and reports its {!activity}; reports drive the
-    idle fast-forward (see module docs). *)
+    idle fast-forward (see module docs). [name] labels the component in
+    {!Profile} output when [APIARY_PROF] is set; when profiling is off
+    the name is discarded and the tick path is unchanged. *)
 
-val add_ticker : t -> (unit -> unit) -> unit
+val add_ticker : ?name:string -> t -> (unit -> unit) -> unit
 (** [add_ticker t f] is [add_clocked t (fun () -> f (); Busy)]: a legacy
     always-active ticker. Its presence disables idle fast-forward, since
     the simulator must assume it does work every cycle. *)
@@ -121,7 +123,17 @@ val cycles_skipped : t -> int
     perf reporting. *)
 
 val total_cycles : unit -> int
-(** Simulated cycles advanced across {e all} simulator instances in the
-    process (atomic; safe under domain-parallel sweeps). Executed and
-    skipped cycles both count: this is simulated time, the numerator of
-    cycles/second. *)
+(** Simulated cycles advanced across {e all} counted simulator instances
+    in the process (atomic; safe under domain-parallel sweeps). Executed
+    and skipped cycles both count: this is simulated time, the numerator
+    of cycles/second. *)
+
+val total_skipped : unit -> int
+(** Cycles fast-forwarded (not executed) across all counted instances —
+    with {!total_cycles}, gives the process-wide skipped-cycle ratio. *)
+
+val set_counted : t -> bool -> unit
+(** Whether this instance's cycles feed {!total_cycles}/{!total_skipped}
+    (default [true]). {!Par_sim} marks all but one member domain
+    uncounted so a partitioned simulation counts its simulated time
+    once, not once per domain. *)

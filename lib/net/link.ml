@@ -4,36 +4,50 @@ type side = A | B
 
 let flip = function A -> B | B -> A
 
+(* Per-direction state. Every field is owned by exactly one side's
+   execution context so a split link (sides on different Par_sim
+   partitions) stays race-free: [busy_until]/[corrupt_next]/[tx_bytes]
+   are written only on the sending side's thread, [rx_dropped] only on
+   the thread that runs this side's deliveries. *)
 type dir = {
+  sim : Sim.t;  (* the sending side's simulator *)
+  post : time:int -> (unit -> unit) -> unit;  (* schedules on the RECEIVER *)
   mutable busy_until : int;
   mutable corrupt_next : bool;
+  mutable tx_bytes : int;
+  mutable rx_dropped : int;  (* frames dropped on delivery TO this side *)
 }
 
 type t = {
-  sim : Sim.t;
   bw : float;
   prop : int;
   a : dir;
   b : dir;
   mutable rx_a : Frame.t -> unit;
   mutable rx_b : Frame.t -> unit;
-  mutable bytes : int;
-  mutable dropped : int;
 }
 
-let create sim ~bytes_per_cycle ~prop_cycles =
+let mk ~sim_a ~sim_b ~post_to_a ~post_to_b ~bytes_per_cycle ~prop_cycles =
   assert (bytes_per_cycle > 0.0 && prop_cycles >= 0);
   {
-    sim;
     bw = bytes_per_cycle;
     prop = prop_cycles;
-    a = { busy_until = 0; corrupt_next = false };
-    b = { busy_until = 0; corrupt_next = false };
+    a = { sim = sim_a; post = post_to_b; busy_until = 0; corrupt_next = false;
+          tx_bytes = 0; rx_dropped = 0 };
+    b = { sim = sim_b; post = post_to_a; busy_until = 0; corrupt_next = false;
+          tx_bytes = 0; rx_dropped = 0 };
     rx_a = (fun _ -> ());
     rx_b = (fun _ -> ());
-    bytes = 0;
-    dropped = 0;
   }
+
+let create sim ~bytes_per_cycle ~prop_cycles =
+  let post ~time fn = Sim.at sim time fn in
+  mk ~sim_a:sim ~sim_b:sim ~post_to_a:post ~post_to_b:post ~bytes_per_cycle
+    ~prop_cycles
+
+let create_split ~sim_a ~sim_b ~post_to_a ~post_to_b ~bytes_per_cycle
+    ~prop_cycles =
+  mk ~sim_a ~sim_b ~post_to_a ~post_to_b ~bytes_per_cycle ~prop_cycles
 
 let dir_of t = function A -> t.a | B -> t.b
 
@@ -42,11 +56,17 @@ let on_recv t side f =
 
 let busy_until t side = (dir_of t side).busy_until
 let set_corrupt_next t ~from = (dir_of t from).corrupt_next <- true
-let bytes_carried t = t.bytes
-let frames_dropped t = t.dropped
+let bytes_carried t = t.a.tx_bytes + t.b.tx_bytes
+let frames_dropped t = t.a.rx_dropped + t.b.rx_dropped
+
+let min_latency t = t.prop + 1
+(* Serialization takes at least one cycle, so no frame handed to the
+   link at cycle [c] can reach the far side before [c + prop + 1] — the
+   lookahead a conservative partitioning of this link may use. *)
 
 let send t ~from frame =
   let d = dir_of t from in
+  let rd = dir_of t (flip from) in
   let wire = Frame.serialize frame in
   let wire =
     if d.corrupt_next then begin
@@ -60,14 +80,14 @@ let send t ~from frame =
     else wire
   in
   let size = Frame.wire_size frame in
-  let now = Sim.now t.sim in
+  let now = Sim.now d.sim in
   let start = max now d.busy_until in
   let ser = max 1 (int_of_float (ceil (float_of_int size /. t.bw))) in
   d.busy_until <- start + ser;
-  t.bytes <- t.bytes + size;
+  d.tx_bytes <- d.tx_bytes + size;
   let deliver_at = start + ser + t.prop in
   let rx = match from with A -> (fun f -> t.rx_b f) | B -> (fun f -> t.rx_a f) in
-  Sim.after t.sim (deliver_at - now) (fun () ->
+  d.post ~time:deliver_at (fun () ->
       match Frame.parse wire with
       | Ok f -> rx f
-      | Error _ -> t.dropped <- t.dropped + 1)
+      | Error _ -> rd.rx_dropped <- rd.rx_dropped + 1)

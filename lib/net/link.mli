@@ -17,6 +17,27 @@ val create : Sim.t -> bytes_per_cycle:float -> prop_cycles:int -> t
 (** 10 GbE at a 250 MHz fabric ≈ 5 B/cycle; 100 GbE ≈ 50 B/cycle.
     [prop_cycles] covers cable + PHY latency. *)
 
+val create_split :
+  sim_a:Sim.t ->
+  sim_b:Sim.t ->
+  post_to_a:(time:int -> (unit -> unit) -> unit) ->
+  post_to_b:(time:int -> (unit -> unit) -> unit) ->
+  bytes_per_cycle:float ->
+  prop_cycles:int ->
+  t
+(** A link whose two endpoints live on different simulators (Par_sim
+    partitions). Side X's transmit state advances on [sim_x]; a frame
+    sent from X is handed to [post_to_(flip x)] with its absolute
+    delivery cycle, which must schedule it on the far simulator
+    (typically [Par_sim.post]). Because serialization takes ≥ 1 cycle,
+    delivery is always ≥ [prop_cycles + 1] ahead of the send — see
+    {!min_latency}. *)
+
+val min_latency : t -> int
+(** [prop_cycles + 1]: a lower bound on send-to-deliver latency in
+    either direction, i.e. the lookahead a conservative partitioning of
+    this link supports. *)
+
 val on_recv : t -> side -> (Frame.t -> unit) -> unit
 (** Install the receiver for frames {e arriving at} [side]. *)
 

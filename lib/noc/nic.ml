@@ -159,5 +159,5 @@ let create sim ~router ~depth ~qos =
           if !pending = 0 then Sim.mark_dirty sim drain;
           incr pending))
     eject;
-  Sim.add_clocked sim (fun () -> tick t);
+  Sim.add_clocked ~name:"noc.nic" sim (fun () -> tick t);
   t

@@ -30,8 +30,20 @@ let chan_pop_exn c =
 let chan_pop c =
   if Fifo.is_empty c.buf then None else Some (chan_pop_exn c)
 
+(* Boundary delivery for the parallel engine: the flit was already
+   staged and committed on the sending partition, so it enters committed
+   storage directly (event phase runs before any ticker looks). *)
+let chan_inject c f =
+  Fifo.inject c.buf f;
+  incr c.occ
+
+(* Where an output VC sends its flits: a downstream channel wired
+   in-simulator, or an opaque push for links that cross a Par_sim
+   partition boundary (capacity is still enforced by credits). *)
+type 'a sink = Sink_chan of 'a chan | Sink_fn of ('a Packet.Flit.t -> unit)
+
 type 'a output = {
-  mutable dest : 'a chan option;
+  mutable dest : 'a sink option;
   mutable credits : int;
   mutable owner : (int * int) option;  (* (input port index, vc) mid-packet *)
 }
@@ -68,7 +80,12 @@ let input_chan t p v = t.inputs.(Port.index p).(v)
 
 let connect t ~port ~vc ~dest ~credits =
   let o = t.outputs.(Port.index port).(vc) in
-  o.dest <- Some dest;
+  o.dest <- Some (Sink_chan dest);
+  o.credits <- credits
+
+let connect_fn t ~port ~vc ~push ~credits =
+  let o = t.outputs.(Port.index port).(vc) in
+  o.dest <- Some (Sink_fn push);
   o.credits <- credits
 
 let credit t ~port ~vc =
@@ -172,7 +189,8 @@ let route_one t op =
       o.owner <- Some (p, v)
     end;
     (match o.dest with
-    | Some d -> chan_push_exn d flit
+    | Some (Sink_chan d) -> chan_push_exn d flit
+    | Some (Sink_fn push) -> push flit
     | None -> assert false);
     o.credits <- o.credits - 1;
     if Packet.Flit.is_tail flit then begin
@@ -235,5 +253,5 @@ let create sim ~coord ~vcs ~depth ~routing ~qos =
       busy_cycles = 0;
     }
   in
-  Sim.add_clocked sim (fun () -> tick t);
+  Sim.add_clocked ~name:"noc.router" sim (fun () -> tick t);
   t

@@ -38,11 +38,22 @@ let destination rng pattern ~cols ~rows ~(src : Coord.t) =
 
 type gen = { mutable running : bool; mutable offered : int }
 
-let start mesh ~rng ~pattern ~rate ~payload_bytes ?(cls = 0) ~payload () =
+let start mesh ~rng ~pattern ~rate ~payload_bytes ?(cls = 0) ?stripe ~payload () =
   assert (rate >= 0.0 && rate <= 1.0);
   let g = { running = true; offered = 0 } in
   let cfg = Mesh.config mesh in
   let tiles = Array.of_list (Mesh.coords mesh) in
+  (* Partitioned meshes run one generator replica per stripe, each
+     seeded identically. Every replica draws the complete RNG stream
+     (keeping all replicas' streams in lockstep with the monolithic
+     generator's) but injects only at the tiles its stripe owns — so the
+     union of injections is byte-identical to the single-generator
+     run. *)
+  let owns =
+    match stripe with
+    | None -> fun _ -> true
+    | Some s -> fun src -> Mesh.stripe_of mesh src = s
+  in
   let tick () =
     (* While running we draw from the RNG every executed cycle, so the
        generator must report Busy: skipping a cycle would shift the RNG
@@ -55,7 +66,7 @@ let start mesh ~rng ~pattern ~rate ~payload_bytes ?(cls = 0) ~payload () =
             let dst =
               destination rng pattern ~cols:cfg.Mesh.cols ~rows:cfg.Mesh.rows ~src
             in
-            if not (Coord.equal dst src) then begin
+            if not (Coord.equal dst src) && owns src then begin
               g.offered <- g.offered + 1;
               Mesh.send mesh ~src ~dst ~cls ~payload_bytes payload
             end
@@ -65,7 +76,9 @@ let start mesh ~rng ~pattern ~rate ~payload_bytes ?(cls = 0) ~payload () =
     end
     else Sim.Idle
   in
-  Sim.add_clocked (Mesh.sim mesh) tick;
+  Sim.add_clocked ~name:"noc.traffic"
+    (Mesh.sim_of mesh (Option.value ~default:0 stripe))
+    tick;
   g
 
 let stop_gen g = g.running <- false

@@ -31,12 +31,19 @@ val start :
   rate:float ->
   payload_bytes:int ->
   ?cls:int ->
+  ?stripe:int ->
   payload:'a ->
   unit ->
   gen
 (** Attach a Bernoulli open-loop generator to every tile of the mesh:
     each cycle each tile independently injects a packet with probability
-    [rate] (packets/tile/cycle). Runs until {!stop_gen}. *)
+    [rate] (packets/tile/cycle). Runs until {!stop_gen}.
+
+    On a partitioned mesh pass [stripe] and start one replica per stripe
+    with identically-seeded RNGs: each replica runs on its stripe's
+    simulator, draws the full RNG stream (so streams stay in lockstep)
+    and injects only at tiles its stripe owns — the union of injections
+    is byte-identical to a monolithic single-generator run. *)
 
 val stop_gen : gen -> unit
 val offered : gen -> int

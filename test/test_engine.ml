@@ -36,6 +36,41 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare l)
 
+let prop_heap_peek_pop_agree =
+  QCheck.Test.make ~name:"peek agrees with pop" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) l;
+      let rec drain () =
+        match Heap.peek h with
+        | None -> Heap.pop h = None
+        | Some p -> ( match Heap.pop h with Some x -> x = p && drain () | None -> false)
+      in
+      drain () && Heap.is_empty h)
+
+(* A bare binary heap is not stable, so the engine breaks ties with a
+   sequence number baked into the comparator — the property the event
+   queue's determinism rests on. With that comparator, drain order over
+   duplicate keys must equal a stable sort by key. *)
+let prop_heap_seq_tiebreak_stable =
+  QCheck.Test.make ~name:"seq tiebreak recovers insertion order on equal keys"
+    ~count:200
+    QCheck.(list (int_bound 8))
+    (fun keys ->
+      let cmp (k1, s1) (k2, s2) =
+        if k1 <> k2 then compare k1 k2 else compare (s1 : int) s2
+      in
+      let h = Heap.create ~cmp in
+      List.iteri (fun seq k -> Heap.push h (k, seq)) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain []
+      = List.stable_sort
+          (fun (k1, _) (k2, _) -> compare (k1 : int) k2)
+          (List.mapi (fun seq k -> (k, seq)) keys))
+
 (* ------------------------------------------------------------------ *)
 (* Rng *)
 
@@ -453,6 +488,8 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           qc prop_heap_sorts;
+          qc prop_heap_peek_pop_agree;
+          qc prop_heap_seq_tiebreak_stable;
           qc prop_heap_time_seq_order;
         ] );
       ( "rng",
