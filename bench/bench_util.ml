@@ -115,6 +115,12 @@ let parallel_map f items =
 
 let perf_enabled = ref false
 
+(* Telemetry capture (--obs): E12 attaches the span recorder and the
+   metrics registry and writes Chrome-trace/metrics JSON next to
+   BENCH_perf.json. Deterministic capture needs a monolithic engine, so
+   obs runs ignore APIARY_PAR=boards. *)
+let obs_enabled = ref false
+
 type perf_record = {
   pr_id : string;
   pr_wall_s : float;

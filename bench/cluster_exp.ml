@@ -16,6 +16,9 @@ module Kv = Apiary_accel.Kv
 module Accels = Apiary_accel.Accels
 module Cluster = Apiary_cluster.Cluster
 module Shard_client = Apiary_cluster.Shard_client
+module Span = Apiary_obs.Span
+module Registry = Apiary_obs.Registry
+module Export = Apiary_obs.Export
 open Bench_util
 
 let small () = Sys.getenv_opt "APIARY_E12_SMALL" <> None
@@ -27,7 +30,10 @@ let bytes_of n = Bytes.make n 'x'
    126-cycle latency as lookahead and executed by the parallel engine —
    byte-identical results, wall-clock spread over the domains. *)
 let with_rack ~boards ~clients ~duration body =
-  match par_mode () with
+  (* Deterministic telemetry capture needs a monolithic engine, so --obs
+     runs ignore APIARY_PAR=boards: the whole invocation's output is
+     then engine-independent. *)
+  match (if !obs_enabled then `Off else par_mode ()) with
   | `Boards ->
     let eng =
       Par_sim.create ~mode:Par_sim.Par ~lookahead:Cluster.lookahead
@@ -231,6 +237,97 @@ let e12d_run ~duration ~kill_at ~restore_at ~interval =
   (pre, degraded, resharded, post, recovered_at - kill_at, failovers, survivors)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry capture (--obs). Two dedicated fixed-seed runs, both on a
+   monolithic engine so every export is byte-stable:
+
+   - e12o: a single cross-board KV call, exported as a Chrome trace.
+     Grouping on the caller's corr id reconstructs the journey — the
+     cluster "call" and monitor "rpc" on board 1, the netsvc "remote"
+     with its req_id, the ToR "fwd", and (joining on req_id) board 0's
+     "serve" plus the kv tile's fabric RPC with per-hop NoC spans.
+
+   - e12d at reduced scale with spans + the metrics registry attached:
+     the kill at 80k cycles shows up as a gap in the client request
+     tracks (timed-out spans, failover instants) until resharding
+     restores throughput. *)
+
+let e12_obs_call () =
+  Span.reset ();
+  Span.set_enabled true;
+  let sim = Sim.create () in
+  let cluster = Cluster.create sim ~boards:2 ~client_ports:1 in
+  ignore
+    (Cluster.install cluster ~board:0 ~service:"kv" (fst (Kv.behavior ())));
+  let status = ref "no reply" in
+  let caller =
+    Shell.behavior "caller" ~on_boot:(fun sh ->
+        Sim.after (Shell.sim sh) 2_000 (fun () ->
+            Cluster.connect cluster ~board:1 sh ~service:"kv" (fun r ->
+                match r with
+                | Error e -> status := Shell.rpc_error_to_string e
+                | Ok target ->
+                  Cluster.call cluster ~board:1 sh target ~op:Kv.Proto.opcode
+                    (Kv.Proto.encode_req (Kv.Proto.Put ("k001", bytes_of 64)))
+                    (fun r ->
+                      status :=
+                        (match r with
+                        | Ok _ -> "ok"
+                        | Error e -> Shell.rpc_error_to_string e)))))
+  in
+  ignore (Cluster.install cluster ~board:1 caller);
+  Sim.run_for sim 60_000;
+  Span.set_enabled false;
+  Export.chrome_trace ~path:"BENCH_obs_call_trace.json" (Span.events ());
+  Printf.printf "obs: one cross-board kv call (%s), %d spans -> %s\n" !status
+    (Span.count ()) "BENCH_obs_call_trace.json";
+  Span.reset ()
+
+let e12_obs_drill () =
+  Registry.clear ();
+  Span.reset ();
+  Span.set_enabled true;
+  let duration = 300_000 and kill_at = 80_000 and restore_at = 180_000 in
+  let boards = 4 and victim = 2 in
+  let sim = Sim.create () in
+  let cluster = Cluster.create sim ~boards ~client_ports:3 in
+  for b = 0 to boards - 1 do
+    ignore
+      (Cluster.install cluster ~board:b ~service:"kv" (fst (Kv.behavior ())))
+  done;
+  let clients =
+    List.init 2 (fun _ ->
+        Shard_client.create cluster ~timeout:20_000 ~service:"kv"
+          ~op:Kv.Proto.opcode ~route:Shard_client.By_key ~gen:(kv_gen 64))
+  in
+  Cluster.register_metrics cluster;
+  List.iter Shard_client.register_metrics clients;
+  Sim.after sim 3_000 (fun () ->
+      List.iter (fun c -> Shard_client.start c ~concurrency:4) clients);
+  Sim.after sim kill_at (fun () -> Cluster.kill cluster ~board:victim);
+  Sim.after sim restore_at (fun () -> Cluster.restore cluster ~board:victim);
+  Sim.run_for sim duration;
+  List.iter Shard_client.stop clients;
+  Span.set_enabled false;
+  Export.chrome_trace ~path:"BENCH_obs_trace.json" (Span.events ());
+  Export.metrics_json ~path:"BENCH_obs_metrics.json" (Registry.snapshot ());
+  let completed =
+    List.fold_left (fun a c -> a + Shard_client.completed c) 0 clients
+  in
+  Printf.printf
+    "obs: failover drill, %d ops, %d spans (%d dropped) -> %s\n\
+     obs: %d instruments -> %s\n"
+    completed (Span.count ()) (Span.dropped ()) "BENCH_obs_trace.json"
+    (List.length (Registry.snapshot ()))
+    "BENCH_obs_metrics.json";
+  Span.reset ();
+  Registry.clear ()
+
+let e12_obs () =
+  subhead "E12 telemetry capture (--obs)";
+  e12_obs_call ();
+  e12_obs_drill ()
+
+(* ------------------------------------------------------------------ *)
 
 let e12 () =
   header "E12"
@@ -320,4 +417,5 @@ let e12 () =
   Printf.printf
     "(survivors restore service on their own: client timeouts reshard the\n\
     \ keyspace, the directory drops the dead board, and recovery is a\n\
-    \ re-registration announcement — no operator in the loop)\n"
+    \ re-registration announcement — no operator in the loop)\n";
+  if !obs_enabled then e12_obs ()

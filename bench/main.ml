@@ -28,14 +28,19 @@ let registry =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [--perf] [experiment ...]";
+  print_endline "usage: main.exe [--perf] [--obs] [experiment ...]";
   print_endline "experiments:";
   List.iter (fun (id, (desc, _)) -> Printf.printf "  %-6s %s\n" id desc) registry;
   print_endline "  all    run everything (default)";
   print_endline "options:";
   print_endline
     "  --perf record wall time and simulated cycles/s per experiment into\n\
-    \         BENCH_perf.json (timing only; experiment output is unchanged)"
+    \         BENCH_perf.json (timing only; experiment output is unchanged)";
+  print_endline
+    "  --obs  capture telemetry during e12: span traces of a cross-board\n\
+    \         call and the failover drill (BENCH_obs_call_trace.json,\n\
+    \         BENCH_obs_trace.json — Chrome trace_event format, open in\n\
+    \         Perfetto) plus a metrics snapshot (BENCH_obs_metrics.json)"
 
 let run_one (id, (_, f)) = Bench_util.timed id f ()
 
@@ -43,6 +48,8 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let perf, args = List.partition (fun a -> a = "--perf") args in
   if perf <> [] then Bench_util.perf_enabled := true;
+  let obs, args = List.partition (fun a -> a = "--obs") args in
+  if obs <> [] then Bench_util.obs_enabled := true;
   (match args with
   | [] | [ "all" ] -> List.iter (fun e -> run_one e) registry
   | args ->

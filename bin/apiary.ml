@@ -23,6 +23,9 @@ module Client = Apiary_net.Client
 module Netproto = Apiary_net.Netproto
 module Board = Apiary_apps.Board
 module Video_pipeline = Apiary_apps.Video_pipeline
+module Span = Apiary_obs.Span
+module Registry = Apiary_obs.Registry
+module Export = Apiary_obs.Export
 module Parts = Apiary_resource.Parts
 module Area = Apiary_resource.Area
 module Floorplan = Apiary_resource.Floorplan
@@ -53,6 +56,39 @@ let percentiles name h =
     (Stats.Histogram.percentile h 99.0)
     (Stats.Histogram.max_value h)
 
+(* Install the scenario's accelerators on [board] and return the
+   (service, opcode, request generator) triple the clients drive.
+   Shared by `apiary run` and `apiary obs`. *)
+let install_scenario board scenario seed =
+  let kernel = board.Board.kernel in
+  match scenario with
+  | Echo ->
+    (match Board.user_tiles board with
+    | t :: _ -> Kernel.install kernel ~tile:t (Accels.echo ())
+    | [] -> ());
+    ("echo", Accels.op_echo, fun _ -> Bytes.make 64 'e')
+  | Kv_scenario ->
+    let kv_b, _ = Kv.behavior () in
+    (match Board.user_tiles board with
+    | t :: _ -> Kernel.install kernel ~tile:t kv_b
+    | [] -> ());
+    let rng = Rng.create ~seed in
+    ( "kv",
+      Kv.Proto.opcode,
+      fun _ ->
+        let key = Printf.sprintf "k%d" (Rng.zipf rng ~n:200 ~theta:0.9) in
+        if Rng.chance rng 0.1 then
+          Kv.Proto.encode_req (Kv.Proto.Put (key, Bytes.make 128 'v'))
+        else Kv.Proto.encode_req (Kv.Proto.Get key) )
+  | Vpipe ->
+    (match Board.user_tiles board with
+    | enc :: comp :: _ ->
+      Video_pipeline.install kernel ~encoder_tile:enc ~compressor_tile:comp
+    | _ -> ());
+    let rng = Rng.create ~seed in
+    let chunk = Rng.bytes_compressible rng 1024 ~redundancy:0.85 in
+    ("vpipe", Accels.op_encode, fun _ -> chunk)
+
 let run_cmd scenario cycles clients enforce trace_on seed =
   let sim = Sim.create () in
   let kcfg =
@@ -64,34 +100,7 @@ let run_cmd scenario cycles clients enforce trace_on seed =
   let board = Board.create ~kernel_cfg:kcfg sim in
   let kernel = board.Board.kernel in
   if trace_on then Trace.set_enabled (Kernel.trace kernel) true;
-  let service, op, gen =
-    match scenario with
-    | Echo ->
-      (match Board.user_tiles board with
-      | t :: _ -> Kernel.install kernel ~tile:t (Accels.echo ())
-      | [] -> ());
-      ("echo", Accels.op_echo, fun _ -> Bytes.make 64 'e')
-    | Kv_scenario ->
-      let kv_b, _ = Kv.behavior () in
-      (match Board.user_tiles board with
-      | t :: _ -> Kernel.install kernel ~tile:t kv_b
-      | [] -> ());
-      let rng = Rng.create ~seed in
-      ( "kv",
-        Kv.Proto.opcode,
-        fun _ ->
-          let key = Printf.sprintf "k%d" (Rng.zipf rng ~n:200 ~theta:0.9) in
-          if Rng.chance rng 0.1 then Kv.Proto.encode_req (Kv.Proto.Put (key, Bytes.make 128 'v'))
-          else Kv.Proto.encode_req (Kv.Proto.Get key) )
-    | Vpipe ->
-      (match Board.user_tiles board with
-      | enc :: comp :: _ ->
-        Video_pipeline.install kernel ~encoder_tile:enc ~compressor_tile:comp
-      | _ -> ());
-      let rng = Rng.create ~seed in
-      let chunk = Rng.bytes_compressible rng 1024 ~redundancy:0.85 in
-      ("vpipe", Accels.op_encode, fun _ -> chunk)
-  in
+  let service, op, gen = install_scenario board scenario seed in
   let cs =
     List.init clients (fun idx ->
         let c = Board.client board ~port:(idx + 1) () in
@@ -126,6 +135,48 @@ let run_cmd scenario cycles clients enforce trace_on seed =
             (Trace.dir_to_string e.Trace.dir) e.Trace.detail)
       evs
   end;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* obs *)
+
+let obs_cmd scenario cycles clients seed trace_out metrics_out =
+  Registry.clear ();
+  Span.reset ();
+  Span.set_enabled true;
+  let sim = Sim.create () in
+  let board = Board.create sim in
+  let kernel = board.Board.kernel in
+  (* Free-standing board: stamp it board 0 so spans land on a named
+     process row, and publish its kernel/NoC metrics under b0.*. *)
+  Kernel.set_obs_board kernel 0;
+  Kernel.register_metrics kernel ~prefix:"b0";
+  let service, op, gen = install_scenario board scenario seed in
+  let cs =
+    List.init clients (fun idx ->
+        let c = Board.client board ~port:(idx + 1) () in
+        Sim.after sim (2_000 + (idx * 71)) (fun () ->
+            Client.start_closed c { Client.service; op; gen } ~concurrency:4);
+        c)
+  in
+  Sim.run_for sim cycles;
+  List.iter Client.stop cs;
+  Span.set_enabled false;
+  Export.chrome_trace ~path:trace_out (Span.events ());
+  Export.metrics_json ~path:metrics_out (Registry.snapshot ());
+  let total =
+    List.fold_left (fun acc c -> acc + Client.completed c) 0 cs
+  in
+  Printf.printf "obs: %s scenario, %d requests in %d cycles\n" service total
+    cycles;
+  Printf.printf "obs: %d spans (%d dropped) -> %s\n" (Span.count ())
+    (Span.dropped ()) trace_out;
+  Printf.printf "obs: %d instruments -> %s\n"
+    (List.length (Registry.snapshot ()))
+    metrics_out;
+  Printf.printf "(open the trace in https://ui.perfetto.dev — 1 us = 1 cycle)\n";
+  Span.reset ();
+  Registry.clear ();
   0
 
 (* ------------------------------------------------------------------ *)
@@ -232,6 +283,32 @@ let run_term =
 
 let run_cmd_info = Cmd.info "run" ~doc:"Run a board scenario with network clients"
 
+let obs_term =
+  let scenario =
+    Arg.(value & opt scenario_conv Kv_scenario & info [ "scenario"; "s" ]
+           ~doc:"Scenario: echo, kv or vpipe.")
+  in
+  let cycles =
+    Arg.(value & opt int 200_000 & info [ "cycles" ] ~doc:"Cycles to simulate.")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Client hosts on the switch.")
+  in
+  let trace_out =
+    Arg.(value & opt string "obs_trace.json" & info [ "trace-out" ]
+           ~doc:"Chrome trace_event output path (open in Perfetto).")
+  in
+  let metrics_out =
+    Arg.(value & opt string "obs_metrics.json" & info [ "metrics-out" ]
+           ~doc:"Metrics registry snapshot output path.")
+  in
+  Term.(const obs_cmd $ scenario $ cycles $ clients $ seed_arg $ trace_out
+        $ metrics_out)
+
+let obs_cmd_info =
+  Cmd.info "obs"
+    ~doc:"Run a scenario with telemetry on: span trace + metrics snapshot"
+
 let noc_term =
   let pattern =
     Arg.(value & opt pattern_conv `Uniform & info [ "pattern" ]
@@ -273,6 +350,7 @@ let () =
        (Cmd.group ~default info
           [
             Cmd.v run_cmd_info run_term;
+            Cmd.v obs_cmd_info obs_term;
             Cmd.v noc_cmd_info noc_term;
             Cmd.v area_cmd_info area_term;
           ]))

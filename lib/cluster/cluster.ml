@@ -1,5 +1,8 @@
 module Sim = Apiary_engine.Sim
 module Par_sim = Apiary_engine.Par_sim
+module Stats = Apiary_engine.Stats
+module Span = Apiary_obs.Span
+module Registry = Apiary_obs.Registry
 module Shell = Apiary_core.Shell
 module Kernel = Apiary_core.Kernel
 module Trace = Apiary_core.Trace
@@ -164,13 +167,29 @@ type target =
 
 let target_board = function Local _ -> None | Remote r -> Some r.board
 
+let obs_mark sh ?args name =
+  if Span.on () then
+    Span.instant ~board:(Shell.obs_board sh) ?args ~cat:"cluster" ~name
+      ~track:(Shell.tile sh) ~ts:(Shell.now sh) ()
+
 let connect t ~board sh ~service k =
   match Directory.resolve t.directory ~from_board:board ~service with
-  | None -> k (Error (Shell.Nacked ("no replica of " ^ service)))
+  | None ->
+    obs_mark sh ~args:[ ("service", service); ("outcome", "none") ] "resolve";
+    k (Error (Shell.Nacked ("no replica of " ^ service)))
   | Some Directory.Local ->
+    obs_mark sh ~args:[ ("service", service); ("outcome", "local") ] "resolve";
     Shell.connect sh ~service (fun r ->
         k (Result.map (fun conn -> Local conn) r))
   | Some (Directory.Remote rep) ->
+    obs_mark sh
+      ~args:
+        [
+          ("service", service);
+          ("outcome", "remote");
+          ("board", string_of_int rep.Directory.board);
+        ]
+      "resolve";
     Shell.connect sh ~service:"net" (fun r ->
         match r with
         | Error e -> k (Error e)
@@ -184,26 +203,74 @@ let call t ~board sh target ~op body k =
     Shell.request sh conn ~opcode:op body (fun r ->
         k (Result.map (fun m -> m.Apiary_core.Message.payload) r))
   | Remote r ->
+    (* The Shell.request underneath already opens the corr-keyed "rpc"
+       span; this one frames the whole location-transparent invocation
+       (with the target board) so failover retries group under it. *)
+    let sid =
+      if not (Span.on ()) then Span.null
+      else
+        Span.start ~board:(Shell.obs_board sh)
+          ~args:
+            [ ("service", r.service); ("board", string_of_int r.board) ]
+          ~cat:"cluster" ~name:"call" ~track:(Shell.tile sh)
+          ~ts:(Shell.now sh) ()
+    in
     Netsvc.remote_request sh r.net ~dst_mac:r.mac ~service:r.service ~op body
       (fun res ->
         match res with
         | Ok rsp when rsp.Netproto.status = Netproto.Ok_resp ->
+          Span.finish ~args:[ ("status", "ok") ] ~ts:(Shell.now sh) sid;
           k (Ok rsp.Netproto.body)
         | Ok rsp ->
           (* The remote board answered but could not serve: drop the
              cached route so the next resolve picks another replica. *)
           Directory.invalidate t.directory ~from_board:board ~service:r.service;
+          obs_mark sh ~args:[ ("service", r.service) ] "invalidate";
           let what =
             if rsp.Netproto.status = Netproto.Service_unavailable then
               "service unavailable on remote board"
             else "remote error"
           in
+          Span.finish
+            ~args:[ ("status", Netproto.status_to_string rsp.Netproto.status) ]
+            ~ts:(Shell.now sh) sid;
           k (Error (Shell.Nacked what))
         | Error e ->
           (* No answer at all: stale route, and on timeout presume the
              board dead until it re-announces. *)
           Directory.invalidate t.directory ~from_board:board ~service:r.service;
+          obs_mark sh ~args:[ ("service", r.service) ] "invalidate";
           (match e with
-          | Shell.Timeout -> Directory.report_failure t.directory ~board:r.board
+          | Shell.Timeout ->
+            Directory.report_failure t.directory ~board:r.board;
+            obs_mark sh
+              ~args:[ ("board", string_of_int r.board) ]
+              "failover"
           | _ -> ());
+          let status =
+            match e with
+            | Shell.Timeout -> "timeout"
+            | Shell.Nacked _ -> "nacked"
+            | Shell.Denied _ -> "denied"
+          in
+          Span.finish ~args:[ ("status", status) ] ~ts:(Shell.now sh) sid;
           k (Error e))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let register_metrics t =
+  Array.iter
+    (fun nd ->
+      Kernel.register_metrics (Node.kernel nd)
+        ~prefix:(Printf.sprintf "b%d" (Node.id nd)))
+    t.nodes;
+  Switch.register_metrics t.switch ~prefix:"rack";
+  Registry.add_sampler ~name:"rack.directory" (fun () ->
+      let set name v =
+        Stats.Gauge.set (Registry.gauge ("rack.directory." ^ name))
+          (float_of_int v)
+      in
+      set "lookups" (Directory.lookups t.directory);
+      set "cache_hits" (Directory.cache_hits t.directory);
+      set "invalidations" (Directory.invalidations t.directory))

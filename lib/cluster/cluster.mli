@@ -121,3 +121,12 @@ val call :
     (the location-transparency claim made concrete). A failed remote
     call invalidates the cached route; a timeout additionally reports
     the board to the directory so resolution moves to survivors. *)
+
+(** {1 Observability} *)
+
+val register_metrics : t -> unit
+(** Install [Apiary_obs.Registry] samplers for the whole rack: each
+    board's kernel and NoC under [b<id>.*], the ToR switch under
+    [rack.switch.*], and directory lookup/cache/invalidation gauges
+    under [rack.directory.*]. Safe to call again after a registry
+    [clear] (samplers are replaced by name, never duplicated). *)

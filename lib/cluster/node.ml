@@ -22,9 +22,10 @@ let create ?kernel_cfg ?ext_link sim ~switch ~id ~port =
     Board.create ?kernel_cfg ~attach:(switch, port) ~mac_addr:(mac_of_id id)
       ?ext_link sim
   in
-  (* Stamp this board's id on its kernel trace so per-board traces can be
-     pooled with Trace.merge. *)
-  Trace.set_board (Kernel.trace board.Board.kernel) id;
+  (* Stamp this board's id on its kernel trace (so per-board traces can
+     be pooled with Trace.merge) and on its mesh (so span events land on
+     this board's process row in exported traces). *)
+  Kernel.set_obs_board board.Board.kernel id;
   { id; port; board; free_tiles = Board.user_tiles board; up = true }
 
 let id t = t.id

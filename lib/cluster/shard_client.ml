@@ -11,13 +11,15 @@
 
 module Sim = Apiary_engine.Sim
 module Stats = Apiary_engine.Stats
+module Span = Apiary_obs.Span
+module Registry = Apiary_obs.Registry
 module Mac = Apiary_net.Mac
 module Frame = Apiary_net.Frame
 module Netproto = Apiary_net.Netproto
 
 type route = By_key | Round_robin
 
-type pending = { issued_at : int; board : int; work_id : int }
+type pending = { issued_at : int; board : int; work_id : int; sid : Span.id }
 
 type t = {
   sim : Sim.t;
@@ -42,6 +44,10 @@ type t = {
   mutable running : bool;
   mutable on_complete : now:int -> unit;
 }
+
+(* Client span track: ports start at 0x02_0000_0C0000 (Cluster.add_client),
+   so this is 3000 + switch port — rack-level rows in the export. *)
+let obs_track t = 3000 + (t.my_mac - 0x02_0000_0C0000)
 
 let pick_board t key =
   match t.route with
@@ -75,12 +81,28 @@ let rec issue_work t work_id =
         (Netproto.encode_request
            { Netproto.req_id; service = t.service; op = t.op; body })
     in
+    (* One span per issue attempt: a failed-over work item shows as a
+       timed-out span followed by a fresh one aimed at the new board. *)
+    let sid =
+      if not (Span.on ()) then Span.null
+      else
+        Span.start
+          ~args:
+            [
+              ("req_id", string_of_int req_id);
+              ("board", string_of_int board);
+              ("work", string_of_int work_id);
+            ]
+          ~cat:"client" ~name:"request" ~track:(obs_track t)
+          ~ts:(Sim.now t.sim) ()
+    in
     Hashtbl.replace t.pending req_id
-      { issued_at = Sim.now t.sim; board; work_id };
+      { issued_at = Sim.now t.sim; board; work_id; sid };
     t.issued <- t.issued + 1;
     if not (Mac.send t.mac frame) then begin
       (* Device backpressure: back off briefly, keep the window full. *)
       Hashtbl.remove t.pending req_id;
+      Span.finish ~args:[ ("status", "backpressure") ] ~ts:(Sim.now t.sim) sid;
       t.errors <- t.errors + 1;
       Sim.after t.sim 64 (fun () -> if t.running then issue_work t work_id)
     end
@@ -92,6 +114,13 @@ let rec issue_work t work_id =
             (* Client-side failure detection: declare the board dead,
                reshard its keyspace onto survivors, reissue the work. *)
             Hashtbl.remove t.pending req_id;
+            Span.finish ~args:[ ("status", "timeout") ] ~ts:(Sim.now t.sim)
+              p.sid;
+            if Span.on () then
+              Span.instant
+                ~args:[ ("board", string_of_int p.board) ]
+                ~cat:"client" ~name:"failover" ~track:(obs_track t)
+                ~ts:(Sim.now t.sim) ();
             t.failovers <- t.failovers + 1;
             drop_board t p.board;
             if t.running then issue_work t p.work_id)
@@ -112,6 +141,9 @@ let handle_frame t (f : Frame.t) =
     | None -> ()  (* late reply from a board already declared dead *)
     | Some p ->
       Hashtbl.remove t.pending rsp.Netproto.rsp_id;
+      Span.finish
+        ~args:[ ("status", Netproto.status_to_string rsp.Netproto.status) ]
+        ~ts:(Sim.now t.sim) p.sid;
       Stats.Histogram.record t.lat (Sim.now t.sim - p.issued_at);
       t.completed <- t.completed + 1;
       if rsp.Netproto.status <> Netproto.Ok_resp then
@@ -163,6 +195,22 @@ let start t ~concurrency =
   done
 
 let stop t = t.running <- false
+
+let register_metrics t =
+  let prefix = Printf.sprintf "client%d" (t.my_mac - 0x02_0000_0C0000) in
+  Registry.add_sampler ~name:prefix (fun () ->
+      let set name v =
+        Stats.Gauge.set
+          (Registry.gauge (prefix ^ "." ^ name))
+          (float_of_int v)
+      in
+      set "issued" t.issued;
+      set "completed" t.completed;
+      set "errors" t.errors;
+      set "failovers" t.failovers;
+      set "live_boards" (List.length (Shard.boards t.ring));
+      Registry.register (prefix ^ ".latency") (Registry.Histogram t.lat))
+
 let issued t = t.issued
 let completed t = t.completed
 let errors t = t.errors

@@ -48,3 +48,8 @@ val live_boards : t -> int list
 
 val set_on_complete : t -> (now:int -> unit) -> unit
 (** Hook fired at each completion (e.g. to feed a {!Stats.Series}). *)
+
+val register_metrics : t -> unit
+(** Install an [Apiary_obs.Registry] sampler publishing this client's
+    issued/completed/errors/failovers gauges and its latency histogram
+    under [client<port>.*]. *)

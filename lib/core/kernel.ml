@@ -91,6 +91,38 @@ let total_denied t =
 let total_msgs t =
   Array.fold_left (fun acc m -> acc + Monitor.msgs_out m) 0 t.monitors
 
+let total_dropped t =
+  Array.fold_left (fun acc m -> acc + Monitor.dropped m) 0 t.monitors
+
+let set_obs_board t id =
+  Trace.set_board t.k_trace id;
+  Mesh.set_obs_board t.k_mesh id
+
+module Registry = Apiary_obs.Registry
+module Stats = Apiary_engine.Stats
+
+let register_metrics t ~prefix =
+  Mesh.register_metrics t.k_mesh ~prefix;
+  Registry.add_sampler
+    ~name:(prefix ^ ".kernel")
+    (fun () ->
+      let set name v =
+        Stats.Gauge.set
+          (Registry.gauge (prefix ^ ".kernel." ^ name))
+          (float_of_int v)
+      in
+      set "denied" (total_denied t);
+      set "dropped" (total_dropped t);
+      set "msgs_out" (total_msgs t);
+      set "faults" (List.length t.fault_log);
+      (* Per-service-tile added latency (the monitor checking cost). *)
+      Array.iteri
+        (fun i m ->
+          Registry.register
+            (Printf.sprintf "%s.kernel.t%d.added_latency" prefix i)
+            (Registry.Histogram (Monitor.added_latency m)))
+        t.monitors)
+
 let create sim cfg =
   let ntiles = cfg.mesh.Mesh.cols * cfg.mesh.Mesh.rows in
   assert (cfg.name_tile <> cfg.mem_tile);
@@ -125,7 +157,7 @@ let create sim cfg =
           else
             let cls = min m.Message.cls (cfg.mesh.Mesh.vcs - 1) in
             Mesh.send k_mesh ~src:(coord_of tile) ~dst:(coord_of dst_tile) ~cls
-              ~payload_bytes:(Message.size_bytes m) m);
+              ~corr:m.Message.corr ~payload_bytes:(Message.size_bytes m) m);
       f_flits =
         (fun m ->
           Packet.flits_for ~flit_bytes:cfg.mesh.Mesh.flit_bytes

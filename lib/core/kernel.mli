@@ -86,3 +86,18 @@ val faults : t -> (int * string) list
 
 val total_denied : t -> int
 val total_msgs : t -> int
+val total_dropped : t -> int
+
+(** {1 Observability} *)
+
+val set_obs_board : t -> int -> unit
+(** Stamp the board id on this kernel's trace and on the mesh (routers
+    and NICs), so message traces and [Apiary_obs.Span] events from this
+    board are attributed correctly in merged/exported views. *)
+
+val register_metrics : t -> prefix:string -> unit
+(** Install [Apiary_obs.Registry] samplers (under [prefix ^ ".kernel"]
+    and the mesh's [prefix ^ ".noc"]) publishing capability denials,
+    drops, fault transitions, per-tile monitor added-latency histograms
+    and the NoC heatmap gauges. Re-attaching with the same prefix
+    replaces the previous samplers. *)

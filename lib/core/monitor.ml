@@ -2,6 +2,7 @@ module Sim = Apiary_engine.Sim
 module Fifo = Apiary_engine.Fifo
 module Rng = Apiary_engine.Rng
 module Stats = Apiary_engine.Stats
+module Span = Apiary_obs.Span
 module Store = Apiary_cap.Store
 module Rights = Apiary_cap.Rights
 
@@ -135,6 +136,15 @@ let now t = Sim.now t.m_sim
 let tracef t dir detail =
   Trace.record t.trace ~cycle:(now t) ~tile:t.m_tile ~dir ~detail ()
 
+(* Board id for Span events: the trace's board stamp (set by Node for
+   rack members), or -1 for a free-standing board. *)
+let obs_board t = Option.value ~default:(-1) (Trace.board t.trace)
+
+let obs_mark t ?corr ?args name =
+  if Span.on () then
+    Span.instant ~board:(obs_board t) ?corr ?args ~cat:"monitor" ~name
+      ~track:t.m_tile ~ts:(now t) ()
+
 let trace_msg t dir m =
   Trace.record_lazy t.trace ~corr:m.Message.corr ~cycle:(now t) ~tile:t.m_tile
     ~dir (fun () -> Message.summary m)
@@ -160,6 +170,9 @@ let enqueue t entry =
   if not (Fifo.push t.egress.(egress_class t m) entry) then begin
     Stats.Counter.incr t.c_dropped;
     trace_msg t Trace.Dropped m;
+    obs_mark t ~corr:m.Message.corr
+      ~args:[ ("reason", "egress queue full") ]
+      "drop";
     if m.Message.corr > 0 && not m.Message.is_reply then
       fail_pending t m.Message.corr (Denied "egress queue full");
     t.on_error "egress queue full"
@@ -224,6 +237,7 @@ let process_egress t =
       ignore (Fifo.pop q);
       Stats.Counter.incr t.c_denied;
       trace_msg t Trace.Denied m;
+      obs_mark t ~corr:m.Message.corr ~args:[ ("reason", reason) ] "deny";
       if m.Message.corr > 0 && not m.Message.is_reply then
         fail_pending t m.Message.corr (Denied reason);
       t.on_error reason
@@ -265,6 +279,7 @@ let process_egress t =
         ignore (Fifo.pop q);
         Stats.Counter.incr t.c_out;
         trace_msg t Trace.Egress m;
+        obs_mark t ~corr:m.Message.corr "admit";
         Stats.Histogram.record t.lat_added
           (now t - m.Message.created_at + t.cfg.check_latency);
         if t.cfg.check_latency = 0 then t.fabric.f_inject m
@@ -279,6 +294,29 @@ let fresh_corr t =
   t.next_corr
 
 let add_pending t ?timeout corr peer cb =
+  (* Every outstanding RPC flows through here; with spans on, the reply
+     callback closes a corr-keyed "rpc" span so the whole call (local or
+     cross-board) has one parent interval on the caller's track. *)
+  let cb =
+    if not (Span.on ()) then cb
+    else begin
+      let sid =
+        Span.start ~board:(obs_board t) ~corr
+          ~args:[ ("peer", string_of_int peer) ]
+          ~cat:"monitor" ~name:"rpc" ~track:t.m_tile ~ts:(now t) ()
+      in
+      fun r ->
+        let status =
+          match r with
+          | Ok _ -> "ok"
+          | Error Timeout -> "timeout"
+          | Error (Nacked _) -> "nacked"
+          | Error (Denied _) -> "denied"
+        in
+        Span.finish ~args:[ ("status", status) ] ~ts:(now t) sid;
+        cb r
+    end
+  in
   Hashtbl.replace t.pending corr (peer, cb);
   let timeout = Option.value ~default:t.cfg.rpc_timeout timeout in
   Sim.after t.m_sim timeout (fun () ->
@@ -475,6 +513,7 @@ let quiesce t ~reason ~notify =
   | Draining _ | Offline -> ()
   | Running ->
     tracef t Trace.Fault reason;
+    obs_mark t ~args:[ ("reason", reason) ] "fault";
     Array.iter Fifo.clear t.egress;
     Queue.clear t.rx;
     Hashtbl.reset t.reply_ok;

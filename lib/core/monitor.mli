@@ -78,6 +78,11 @@ val create :
 val tile : t -> int
 val sim : t -> Sim.t
 val state : t -> state
+
+val obs_board : t -> int
+(** Board id stamped on this monitor's [Apiary_obs.Span] events (the
+    trace's board, or [-1] when free-standing). *)
+
 val store : t -> Store.t
 val behavior_name : t -> string
 val self_addr : t -> Message.addr

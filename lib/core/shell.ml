@@ -26,6 +26,7 @@ let behavior ?on_tick ?(on_boot = fun _ -> ()) ?(on_message = fun _ _ -> ()) bna
 let tile = Monitor.tile
 let sim = Monitor.sim
 let now t = Apiary_engine.Sim.now (Monitor.sim t)
+let obs_board = Monitor.obs_board
 let self_addr = Monitor.self_addr
 let rng = Monitor.rng
 let log = Monitor.log

@@ -62,6 +62,10 @@ val behavior :
 val tile : t -> int
 val sim : t -> Apiary_engine.Sim.t
 val now : t -> int
+
+val obs_board : t -> int
+(** Board id for [Apiary_obs.Span] events ([-1] when free-standing). *)
+
 val self_addr : t -> Message.addr
 val rng : t -> Apiary_engine.Rng.t
 val log : t -> string -> unit

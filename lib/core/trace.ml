@@ -50,17 +50,17 @@ let record t ?board ?(corr = 0) ~cycle ~tile ~dir ~detail () =
 let record_lazy t ?board ?corr ~cycle ~tile ~dir f =
   if t.on then record t ?board ?corr ~cycle ~tile ~dir ~detail:(f ()) ()
 
-let events t =
+let fold t ~init ~f =
   let n = Array.length t.ring in
-  let rec collect i acc =
-    if i >= n then List.rev acc
-    else
-      let idx = (t.next + i) mod n in
-      match t.ring.(idx) with
-      | None -> collect (i + 1) acc
-      | Some e -> collect (i + 1) (e :: acc)
-  in
-  collect 0 []
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    match t.ring.((t.next + i) mod n) with
+    | None -> ()
+    | Some e -> acc := f !acc e
+  done;
+  !acc
+
+let events t = List.rev (fold t ~init:[] ~f:(fun acc e -> e :: acc))
 
 let count t = t.total
 
@@ -92,4 +92,4 @@ let find t ?tile ?dir ?board ?corr () =
     && (match board with None -> true | Some b -> e.board = Some b)
     && match corr with None -> true | Some c -> e.corr = c
   in
-  List.filter keep (events t)
+  List.rev (fold t ~init:[] ~f:(fun acc e -> if keep e then e :: acc else acc))

@@ -63,6 +63,10 @@ val record_lazy :
 val events : t -> event list
 (** Oldest first. *)
 
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Fold over retained events, oldest first, without building an
+    intermediate list ({!events} and {!find} are defined with it). *)
+
 val count : t -> int
 (** Total events recorded since creation (including overwritten ones). *)
 

@@ -28,6 +28,11 @@ module Gauge = struct
   let value g = g.v
   let min g = g.mn
   let max g = g.mx
+
+  let reset g =
+    g.v <- 0.0;
+    g.mn <- infinity;
+    g.mx <- neg_infinity
 end
 
 module Histogram = struct

@@ -27,6 +27,9 @@ module Gauge : sig
   val value : t -> float
   val min : t -> float
   val max : t -> float
+
+  val reset : t -> unit
+  (** Back to the just-created state: value 0, min/max cleared. *)
 end
 
 (** Log-bucketed histogram of non-negative integer samples. *)

@@ -2,6 +2,11 @@ type request = { req_id : int; service : string; op : int; body : bytes }
 type status = Ok_resp | Service_unavailable | Remote_error
 type response = { rsp_id : int; status : status; body : bytes }
 
+let status_to_string = function
+  | Ok_resp -> "ok"
+  | Service_unavailable -> "unavailable"
+  | Remote_error -> "remote-error"
+
 (* Leave room for the envelope header within one frame. *)
 let max_body = 1500 - 64
 

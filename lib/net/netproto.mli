@@ -16,6 +16,8 @@ type status = Ok_resp | Service_unavailable | Remote_error
 
 type response = { rsp_id : int; status : status; body : bytes }
 
+val status_to_string : status -> string
+
 val encode_request : request -> bytes
 val decode_request : bytes -> (request, string) result
 val encode_response : response -> bytes

@@ -1,6 +1,7 @@
 module Sim = Apiary_engine.Sim
 module Message = Apiary_core.Message
 module Shell = Apiary_core.Shell
+module Span = Apiary_obs.Span
 
 type stats = {
   mutable rx_frames : int;
@@ -58,8 +59,9 @@ let behavior ~mac ~my_mac () =
     { rx_frames = 0; tx_frames = 0; bad_frames = 0; unavailable = 0; outbound = 0 }
   in
   let conns : (string, conn_state) Hashtbl.t = Hashtbl.create 16 in
-  (* Outstanding outbound calls: network req_id -> message to respond to. *)
-  let outbound : (int, Message.t) Hashtbl.t = Hashtbl.create 16 in
+  (* Outstanding outbound calls: network req_id -> the message to respond
+     to plus the open "remote" span covering the off-board round trip. *)
+  let outbound : (int, Message.t * Span.id) Hashtbl.t = Hashtbl.create 16 in
   let next_req_id = ref 0 in
   let with_conn sh service k =
     match Hashtbl.find_opt conns service with
@@ -82,41 +84,69 @@ let behavior ~mac ~my_mac () =
             Hashtbl.remove conns service;
             List.iter (fun w -> w None) (List.rev waiters))
   in
-  let send_frame dst payload =
+  let send_frame sh dst payload =
     let frame = Frame.make ~dst ~src:my_mac payload in
-    if Mac.send mac frame then st.tx_frames <- st.tx_frames + 1
+    if Mac.send mac frame then begin
+      st.tx_frames <- st.tx_frames + 1;
+      if Span.on () then
+        Span.instant ~board:(Shell.obs_board sh) ~cat:"net" ~name:"frame.tx"
+          ~args:[ ("dst", Printf.sprintf "%012x" dst) ]
+          ~track:(Shell.tile sh) ~ts:(Shell.now sh) ()
+    end
   in
-  let reply_frame (req : Netproto.request) dst status body =
+  let reply_frame sh (req : Netproto.request) dst status body =
     let rsp = { Netproto.rsp_id = req.Netproto.req_id; status; body } in
-    send_frame dst (Netproto.encode_response rsp)
+    send_frame sh dst (Netproto.encode_response rsp)
   in
   (* Inbound request from the network: bridge onto the NoC. *)
   let handle_inbound_request sh (f : Frame.t) (req : Netproto.request) =
+    (* "serve" span: frame receipt to reply-frame transmission. The
+       [req_id] arg is the cross-board link back to the caller's
+       "remote" span — the board-local corr changes at the wire. *)
+    let sid =
+      if not (Span.on ()) then Span.null
+      else
+        Span.start ~board:(Shell.obs_board sh)
+          ~args:
+            [
+              ("req_id", string_of_int req.Netproto.req_id);
+              ("service", req.Netproto.service);
+            ]
+          ~cat:"net" ~name:"serve" ~track:(Shell.tile sh) ~ts:(Shell.now sh)
+          ()
+    in
+    let reply status body =
+      Span.finish ~args:[ ("status", Netproto.status_to_string status) ]
+        ~ts:(Shell.now sh) sid;
+      reply_frame sh req f.Frame.src status body
+    in
     with_conn sh req.Netproto.service (fun conn ->
         match conn with
         | None ->
           st.unavailable <- st.unavailable + 1;
-          reply_frame req f.Frame.src Netproto.Service_unavailable Bytes.empty
+          reply Netproto.Service_unavailable Bytes.empty
         | Some conn ->
           Shell.request sh conn ~opcode:req.Netproto.op req.Netproto.body (fun r ->
               match r with
-              | Ok m -> reply_frame req f.Frame.src Netproto.Ok_resp m.Message.payload
+              | Ok m -> reply Netproto.Ok_resp m.Message.payload
               | Error (Shell.Nacked _) | Error (Shell.Denied _) ->
                 (* Peer fail-stopped: drop the stale connection so the
                    next request re-resolves (it may have been restarted
                    elsewhere). *)
                 Hashtbl.remove conns req.Netproto.service;
                 st.unavailable <- st.unavailable + 1;
-                reply_frame req f.Frame.src Netproto.Service_unavailable Bytes.empty
-              | Error Shell.Timeout ->
-                reply_frame req f.Frame.src Netproto.Remote_error Bytes.empty))
+                reply Netproto.Service_unavailable Bytes.empty
+              | Error Shell.Timeout -> reply Netproto.Remote_error Bytes.empty))
   in
   (* Response from the network for an accelerator's outbound call. *)
   let handle_inbound_response sh (rsp : Netproto.response) =
     match Hashtbl.find_opt outbound rsp.Netproto.rsp_id with
     | None -> st.bad_frames <- st.bad_frames + 1
-    | Some origin ->
+    | Some (origin, sid) ->
       Hashtbl.remove outbound rsp.Netproto.rsp_id;
+      Span.finish
+        ~args:[ ("status", Netproto.status_to_string rsp.Netproto.status) ]
+        ~ts:(Shell.now sh) sid;
       Shell.respond sh origin ~opcode:op_remote (Netproto.encode_response rsp)
   in
   let handle_frame sh (f : Frame.t) =
@@ -127,6 +157,10 @@ let behavior ~mac ~my_mac () =
     if f.Frame.dst <> my_mac then ()
     else begin
       st.rx_frames <- st.rx_frames + 1;
+      if Span.on () then
+        Span.instant ~board:(Shell.obs_board sh) ~cat:"net" ~name:"frame.rx"
+          ~args:[ ("src", Printf.sprintf "%012x" f.Frame.src) ]
+          ~track:(Shell.tile sh) ~ts:(Shell.now sh) ();
       match Netproto.decode_request f.Frame.payload with
       | Ok req -> handle_inbound_request sh f req
       | Error _ ->
@@ -136,15 +170,30 @@ let behavior ~mac ~my_mac () =
     end
   in
   (* Outbound call from an accelerator tile. *)
-  let handle_outbound _sh (msg : Message.t) =
+  let handle_outbound sh (msg : Message.t) =
     match decode_remote msg.Message.payload with
     | Error _ -> ()
     | Ok (dst_mac, req) ->
       st.outbound <- st.outbound + 1;
       incr next_req_id;
       let req_id = !next_req_id in
-      Hashtbl.replace outbound req_id msg;
-      send_frame dst_mac
+      (* "remote" span: the off-board leg of the caller's RPC, keyed by
+         the caller's corr and carrying the wire req_id so the remote
+         board's "serve" span links to it. *)
+      let sid =
+        if not (Span.on ()) then Span.null
+        else
+          Span.start ~board:(Shell.obs_board sh) ~corr:msg.Message.corr
+            ~args:
+              [
+                ("req_id", string_of_int req_id);
+                ("service", req.Netproto.service);
+              ]
+            ~cat:"net" ~name:"remote" ~track:(Shell.tile sh)
+            ~ts:(Shell.now sh) ()
+      in
+      Hashtbl.replace outbound req_id (msg, sid);
+      send_frame sh dst_mac
         (Netproto.encode_request { req with Netproto.req_id })
   in
   let b =

@@ -1,4 +1,7 @@
 module Sim = Apiary_engine.Sim
+module Span = Apiary_obs.Span
+module Registry = Apiary_obs.Registry
+module Stats = Apiary_engine.Stats
 
 type port = { link : Link.t; side : Link.side }
 
@@ -69,8 +72,23 @@ let drop t in_port =
   t.dropped <- t.dropped + 1;
   t.pstats.(in_port).p_dropped <- t.pstats.(in_port).p_dropped + 1
 
+(* Span track for switch port [p]; the switch is rack-level (board -1),
+   so ports share pid 0 with other rack components. *)
+let obs_track p = 1000 + p
+
+let obs_span t ?(lat = t.latency) in_port name =
+  if Span.on () then
+    (* The cut-through decision happened [lat] cycles ago; the span
+       covers the switch transit so the trace shows frames dwelling in
+       the ToR between the two boards' frame.tx/frame.rx instants. *)
+    Span.complete ~cat:"switch" ~name ~track:(obs_track in_port)
+      ~ts:(Sim.now t.sim - lat) ~dur:lat ()
+
 let forward t in_port (frame : Frame.t) =
-  if not t.up.(in_port) then drop t in_port
+  if not t.up.(in_port) then begin
+    drop t in_port;
+    obs_span t ~lat:0 in_port "drop"
+  end
   else begin
     learn t frame.Frame.src in_port;
     Sim.after t.sim t.latency (fun () ->
@@ -78,13 +96,20 @@ let forward t in_port (frame : Frame.t) =
         | Some pi when pi <> in_port ->
           if transmit t pi frame then begin
             t.forwarded <- t.forwarded + 1;
-            t.pstats.(in_port).p_forwarded <- t.pstats.(in_port).p_forwarded + 1
+            t.pstats.(in_port).p_forwarded <- t.pstats.(in_port).p_forwarded + 1;
+            obs_span t in_port "fwd"
           end
-          else drop t in_port (* egress port down or unplugged *)
-        | Some _ -> drop t in_port (* destination is behind the ingress port *)
+          else begin
+            drop t in_port (* egress port down or unplugged *);
+            obs_span t in_port "drop"
+          end
+        | Some _ ->
+          drop t in_port (* destination is behind the ingress port *);
+          obs_span t in_port "drop"
         | None ->
           t.flooded <- t.flooded + 1;
           t.pstats.(in_port).p_flooded <- t.pstats.(in_port).p_flooded + 1;
+          obs_span t in_port "flood";
           Array.iteri
             (fun pi p ->
               if pi <> in_port && p <> None then ignore (transmit t pi frame))
@@ -106,3 +131,27 @@ let fdb_capacity t = t.fdb_capacity
 let port_forwarded t ~port = t.pstats.(port).p_forwarded
 let port_flooded t ~port = t.pstats.(port).p_flooded
 let port_dropped t ~port = t.pstats.(port).p_dropped
+
+let register_metrics t ~prefix =
+  Registry.add_sampler
+    ~name:(prefix ^ ".switch")
+    (fun () ->
+      let set name v =
+        Stats.Gauge.set
+          (Registry.gauge (prefix ^ ".switch." ^ name))
+          (float_of_int v)
+      in
+      set "forwarded" t.forwarded;
+      set "flooded" t.flooded;
+      set "dropped" t.dropped;
+      set "fdb_size" (Hashtbl.length t.fdb);
+      Array.iteri
+        (fun pi ps ->
+          let base = Printf.sprintf "%s.switch.p%d" prefix pi in
+          Stats.Gauge.set
+            (Registry.gauge (base ^ ".forwarded"))
+            (float_of_int ps.p_forwarded);
+          Stats.Gauge.set
+            (Registry.gauge (base ^ ".dropped"))
+            (float_of_int ps.p_dropped))
+        t.pstats)

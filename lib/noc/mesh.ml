@@ -1,6 +1,8 @@
 module Sim = Apiary_engine.Sim
 module Par_sim = Apiary_engine.Par_sim
 module Stats = Apiary_engine.Stats
+module Span = Apiary_obs.Span
+module Registry = Apiary_obs.Registry
 
 type config = {
   cols : int;
@@ -40,6 +42,7 @@ type 'a t = {
   hops : Stats.Histogram.t array;
   sent : int array;  (* per stripe *)
   delivered : int array;
+  mutable obs_board : int;  (* board id stamped on Span events; -1 = none *)
 }
 
 let sim t = t.sims.(0)
@@ -58,15 +61,21 @@ let coords t =
 let nic_at t c = t.nics.(idx t c)
 let router_at t c = t.routers.(idx t c)
 
-let send t ~src ~dst ?(cls = 0) ~payload_bytes payload =
+let send t ~src ~dst ?(cls = 0) ?(corr = 0) ~payload_bytes payload =
   assert (in_bounds t src && in_bounds t dst);
   let size_flits = Packet.flits_for ~flit_bytes:t.cfg.flit_bytes ~payload_bytes in
   let s = stripe_of t src in
   let pkt =
-    Packet.make ~src ~dst ~cls ~size_flits ~payload ~now:(Sim.now t.sims.(s))
+    Packet.make ~corr ~src ~dst ~cls ~size_flits ~payload
+      ~now:(Sim.now t.sims.(s)) ()
   in
   t.sent.(s) <- t.sent.(s) + 1;
   Nic.send (nic_at t src) pkt
+
+let set_obs_board t board =
+  t.obs_board <- board;
+  Array.iteri (fun i r -> Router.set_obs r ~board ~track:i) t.routers;
+  Array.iteri (fun i n -> Nic.set_obs n ~board ~track:i) t.nics
 
 let set_receiver t c cb = t.rx_cbs.(idx t c) <- cb
 
@@ -224,6 +233,7 @@ let create ?engine sim cfg =
       hops = Array.init nstripes (fun _ -> Stats.Histogram.create "noc.hops");
       sent = Array.make nstripes 0;
       delivered = Array.make nstripes 0;
+      obs_board = -1;
     }
   in
   wire t;
@@ -239,6 +249,42 @@ let create ?engine sim cfg =
           Stats.Histogram.record t.lat_cls.(s).(cls) lat;
           Stats.Histogram.record t.hops.(s) (Packet.hops pkt);
           t.delivered.(s) <- t.delivered.(s) + 1;
+          if Span.on () then
+            (* End-to-end transfer span, timed from NIC-queue entry so it
+               covers injection backlog plus the per-hop child spans. *)
+            Span.complete ~board:t.obs_board ~corr:pkt.Packet.corr
+              ~args:[ ("hops", string_of_int (Packet.hops pkt)) ]
+              ~cat:"noc" ~name:"xfer" ~track:i ~ts:pkt.Packet.injected_at
+              ~dur:lat ();
           t.rx_cbs.(i) pkt))
     nics;
   t
+
+let register_metrics t ~prefix =
+  Registry.add_sampler
+    ~name:(prefix ^ ".noc")
+    (fun () ->
+      Array.iteri
+        (fun i r ->
+          let c = Coord.of_index ~cols:t.cfg.cols i in
+          let base = Printf.sprintf "%s.noc.r%d_%d" prefix c.Coord.x c.Coord.y in
+          Stats.Gauge.set
+            (Registry.gauge (base ^ ".occ"))
+            (float_of_int (Router.input_occupancy r));
+          let now = Sim.now t.sims.(t.stripe_of_tile.(i)) in
+          let util =
+            if now = 0 then 0.0
+            else float_of_int (Router.busy_cycles r) /. float_of_int now
+          in
+          Stats.Gauge.set (Registry.gauge (base ^ ".util")) util)
+        t.routers;
+      Stats.Gauge.set
+        (Registry.gauge (prefix ^ ".noc.sent"))
+        (float_of_int (packets_sent t));
+      Stats.Gauge.set
+        (Registry.gauge (prefix ^ ".noc.delivered"))
+        (float_of_int (packets_delivered t));
+      Registry.register (prefix ^ ".noc.latency")
+        (Registry.Histogram (latency t));
+      Registry.register (prefix ^ ".noc.hops")
+        (Registry.Histogram (hop_histogram t)))

@@ -56,9 +56,24 @@ val coords : 'a t -> Coord.t list
 val in_bounds : 'a t -> Coord.t -> bool
 
 val send :
-  'a t -> src:Coord.t -> dst:Coord.t -> ?cls:int -> payload_bytes:int -> 'a -> unit
+  'a t -> src:Coord.t -> dst:Coord.t -> ?cls:int -> ?corr:int ->
+  payload_bytes:int -> 'a -> unit
 (** Enqueue a packet at [src]'s NIC. [payload_bytes] determines the flit
-    count; the payload value itself rides opaquely. *)
+    count; the payload value itself rides opaquely. [corr] (default [0])
+    is the RPC correlation id stamped on the packet so per-hop span
+    events attribute to the originating call. *)
+
+val set_obs_board : 'a t -> int -> unit
+(** Stamp the board id on every router and NIC (and on end-to-end
+    transfer spans), so [Apiary_obs.Span] events from this mesh land on
+    the right process row in the exported trace. *)
+
+val register_metrics : 'a t -> prefix:string -> unit
+(** Install an [Apiary_obs.Registry] sampler (named [prefix ^ ".noc"],
+    so re-attaching replaces) that publishes per-router occupancy and
+    utilization gauges ([<prefix>.noc.r<x>_<y>.occ]/[.util] — the NoC
+    heatmap), sent/delivered totals, and the latency and hop
+    histograms. *)
 
 val set_receiver : 'a t -> Coord.t -> ('a Packet.t -> unit) -> unit
 (** Install the delivery callback for a tile (replaces any previous). *)

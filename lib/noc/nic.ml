@@ -1,5 +1,6 @@
 module Sim = Apiary_engine.Sim
 module Fifo = Apiary_engine.Fifo
+module Span = Apiary_obs.Span
 
 type 'a inflight = { pkt : 'a Packet.t; mutable next_idx : int }
 
@@ -7,6 +8,8 @@ type 'a t = {
   sim : Sim.t;
   router : 'a Router.t;
   qos : bool;
+  mutable obs_board : int;
+  mutable obs_track : int;
   tx : 'a Packet.t Queue.t array;  (* per class *)
   cur : 'a inflight option array;  (* per class *)
   eject : 'a Router.chan array;  (* per VC *)
@@ -18,6 +21,10 @@ type 'a t = {
 }
 
 let coord t = Router.coord t.router
+
+let set_obs t ~board ~track =
+  t.obs_board <- board;
+  t.obs_track <- track
 
 let clamp t cls =
   let v = Router.vcs t.router in
@@ -81,6 +88,13 @@ let inject t =
     if not (Fifo.is_full chan.Router.buf) then begin
       let flit = { Packet.Flit.pkt = inf.pkt; idx = inf.next_idx } in
       Router.chan_push_exn chan flit;
+      if flit.idx = 0 && Span.on () then begin
+        (* Restamp so the first hop span measures from wire entry, not
+           from creation (the packet may have queued in the NIC). *)
+        Packet.set_hop_ts inf.pkt (Sim.now t.sim);
+        Span.instant ~board:t.obs_board ~corr:inf.pkt.Packet.corr
+          ~cat:"noc" ~name:"inject" ~track:t.obs_track ~ts:(Sim.now t.sim) ()
+      end;
       inf.next_idx <- inf.next_idx + 1;
       if inf.next_idx >= inf.pkt.Packet.size_flits then begin
         t.cur.(c) <- None;
@@ -92,6 +106,9 @@ let eject t =
   let deliver (f : 'a Packet.Flit.t) =
     if Packet.Flit.is_tail f then begin
       t.delivered <- t.delivered + 1;
+      if Span.on () then
+        Span.instant ~board:t.obs_board ~corr:f.pkt.Packet.corr ~cat:"noc"
+          ~name:"eject" ~track:t.obs_track ~ts:(Sim.now t.sim) ();
       t.rx_cb f.pkt
     end
   in
@@ -132,6 +149,8 @@ let create sim ~router ~depth ~qos =
       sim;
       router;
       qos;
+      obs_board = -1;
+      obs_track = 0;
       tx = Array.init vcs (fun _ -> Queue.create ());
       cur = Array.make vcs None;
       eject;

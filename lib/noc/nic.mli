@@ -34,3 +34,7 @@ val injected : 'a t -> int
 
 val delivered : 'a t -> int
 (** Packets delivered to the receive callback so far. *)
+
+val set_obs : 'a t -> board:int -> track:int -> unit
+(** Identity stamped on inject/eject [Apiary_obs.Span] instants (see
+    {!Router.set_obs}). *)

@@ -6,17 +6,22 @@ type 'a t = {
   size_flits : int;
   payload : 'a;
   injected_at : int;
+  corr : int;
+  mutable hop_ts : int;
 }
 
 (* Atomic so independent sims can run in parallel domains; ids are only
    required to be unique, never dense or ordered. *)
 let next_id = Atomic.make 0
 
-let make ~src ~dst ~cls ~size_flits ~payload ~now =
+let make ?(corr = 0) ~src ~dst ~cls ~size_flits ~payload ~now () =
   assert (size_flits >= 1);
   assert (cls >= 0);
   let id = 1 + Atomic.fetch_and_add next_id 1 in
-  { id; src; dst; cls; size_flits; payload; injected_at = now }
+  { id; src; dst; cls; size_flits; payload; injected_at = now; corr;
+    hop_ts = now }
+
+let set_hop_ts p ts = p.hop_ts <- ts
 
 let flits_for ~flit_bytes ~payload_bytes =
   assert (flit_bytes > 0);

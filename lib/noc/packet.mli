@@ -15,18 +15,28 @@ type 'a t = private {
   size_flits : int;  (** Total flits including the head flit. *)
   payload : 'a;
   injected_at : int;  (** Cycle the packet entered the source NIC. *)
+  corr : int;  (** RPC correlation id riding with the packet; [0] = none. *)
+  mutable hop_ts : int;
+      (** Cycle the head flit last advanced (injection, then each router);
+          routers use it to attribute per-hop queueing time. *)
 }
 
 val make :
+  ?corr:int ->
   src:Coord.t ->
   dst:Coord.t ->
   cls:int ->
   size_flits:int ->
   payload:'a ->
   now:int ->
+  unit ->
   'a t
 (** Create a packet; [size_flits >= 1]. Ids are drawn from a global
     counter. *)
+
+val set_hop_ts : 'a t -> int -> unit
+(** Restamp {!field-hop_ts} (the type is [private], so hop bookkeeping
+    goes through this). *)
 
 val flits_for : flit_bytes:int -> payload_bytes:int -> int
 (** Number of flits needed for a payload of the given size: one head flit

@@ -1,5 +1,6 @@
 module Fifo = Apiary_engine.Fifo
 module Sim = Apiary_engine.Sim
+module Span = Apiary_obs.Span
 
 type 'a chan = {
   buf : 'a Packet.Flit.t Fifo.t;
@@ -49,10 +50,13 @@ type 'a output = {
 }
 
 type 'a t = {
+  sim : Sim.t;
   coord : Coord.t;
   vcs : int;
   routing : Routing.t;
   qos : bool;
+  mutable obs_board : int;  (* board id for Span events; -1 = unassigned *)
+  mutable obs_track : int;  (* tile index used as the Span track *)
   inputs : 'a chan array array;  (* [port][vc] *)
   outputs : 'a output array array;  (* [port][vc] *)
   alloc : (int * int) option array array;
@@ -77,6 +81,12 @@ type 'a t = {
 let coord t = t.coord
 let vcs t = t.vcs
 let input_chan t p v = t.inputs.(Port.index p).(v)
+
+let set_obs t ~board ~track =
+  t.obs_board <- board;
+  t.obs_track <- track
+
+let input_occupancy t = !(t.in_occ)
 
 let connect t ~port ~vc ~dest ~credits =
   let o = t.outputs.(Port.index port).(vc) in
@@ -186,7 +196,25 @@ let route_one t op =
     let flit = chan_pop_exn t.inputs.(p).(v) in
     if Packet.Flit.is_head flit then begin
       t.alloc.(p).(v) <- Some (op_i, ov);
-      o.owner <- Some (p, v)
+      o.owner <- Some (p, v);
+      if Span.on () then begin
+        (* One span per head flit per router: from the cycle the head
+           last advanced (injection or upstream hop) to now, i.e. this
+           hop's serialization + queueing wait. *)
+        let pkt = flit.pkt in
+        let now = Sim.now t.sim in
+        Span.complete ~board:t.obs_board ~corr:pkt.Packet.corr
+          ~args:
+            [
+              ("at", Coord.to_string t.coord);
+              ("out", Port.to_string Port.all_arr.(op_i));
+            ]
+          ~cat:"noc" ~name:"hop" ~track:t.obs_track
+          ~ts:pkt.Packet.hop_ts
+          ~dur:(now - pkt.Packet.hop_ts)
+          ();
+        Packet.set_hop_ts pkt now
+      end
     end;
     (match o.dest with
     | Some (Sink_chan d) -> chan_push_exn d flit
@@ -231,10 +259,13 @@ let create sim ~coord ~vcs ~depth ~routing ~qos =
   in
   let t =
     {
+      sim;
       coord;
       vcs;
       routing;
       qos;
+      obs_board = -1;
+      obs_track = 0;
       inputs = Array.init Port.count mk_inputs;
       outputs =
         Array.init Port.count (fun _ ->

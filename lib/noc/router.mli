@@ -95,3 +95,12 @@ val flits_routed : 'a t -> int
 
 val busy_cycles : 'a t -> int
 (** Cycles in which at least one flit was forwarded. *)
+
+val input_occupancy : 'a t -> int
+(** Flits currently staged or buffered across all input channels (the
+    per-router "heatmap" gauge the metrics registry samples). *)
+
+val set_obs : 'a t -> board:int -> track:int -> unit
+(** Identity stamped on per-hop [Apiary_obs.Span] events: the owning
+    board id and the tile index used as the span track. {!Mesh} sets the
+    track at creation; boards set the board id. *)

@@ -1,0 +1,89 @@
+module Stats = Apiary_engine.Stats
+
+type instrument =
+  | Counter of Stats.Counter.t
+  | Gauge of Stats.Gauge.t
+  | Histogram of Stats.Histogram.t
+
+(* Process-global; guarded for safety when parallel sweeps attach, though
+   deterministic snapshots (like span capture) want a single domain. *)
+let lock = Mutex.create ()
+let instruments : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let samplers : (string, unit -> unit) Hashtbl.t = Hashtbl.create 16
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let get_or_create name mk match_ =
+  with_lock (fun () ->
+      match Hashtbl.find_opt instruments name with
+      | Some i -> (
+        match match_ i with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Obs registry: %s is a %s" name (kind_name i)))
+      | None ->
+        let v = mk () in
+        v)
+
+let counter name =
+  get_or_create name
+    (fun () ->
+      let c = Stats.Counter.create name in
+      Hashtbl.replace instruments name (Counter c);
+      c)
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  get_or_create name
+    (fun () ->
+      let g = Stats.Gauge.create name in
+      Hashtbl.replace instruments name (Gauge g);
+      g)
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram name =
+  get_or_create name
+    (fun () ->
+      let h = Stats.Histogram.create name in
+      Hashtbl.replace instruments name (Histogram h);
+      h)
+    (function Histogram h -> Some h | _ -> None)
+
+let register name i = with_lock (fun () -> Hashtbl.replace instruments name i)
+
+let add_sampler ~name f = with_lock (fun () -> Hashtbl.replace samplers name f)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sample () =
+  let fns = with_lock (fun () -> sorted_bindings samplers) in
+  List.iter (fun (_, f) -> f ()) fns
+
+let snapshot () =
+  sample ();
+  with_lock (fun () -> sorted_bindings instruments)
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | Counter c -> Stats.Counter.reset c
+          | Gauge g -> Stats.Gauge.reset g
+          | Histogram h -> Stats.Histogram.reset h)
+        instruments)
+
+let clear () =
+  with_lock (fun () ->
+      Hashtbl.reset instruments;
+      Hashtbl.reset samplers)

@@ -1,0 +1,54 @@
+(** Global metrics registry: the aggregate half of the telemetry layer.
+
+    Components expose their existing [Stats] instruments under stable
+    dotted names (e.g. [b0.noc.r1_2.occ], [rack.switch.flooded],
+    [svc.kv.latency]) instead of each benchmark growing its own ad-hoc
+    counters. Two styles coexist:
+
+    - {b owned instruments}: {!counter}, {!gauge} and {!histogram}
+      get-or-create named instruments that live in the registry and are
+      reset by {!reset};
+    - {b samplers}: named callbacks (registered by the [register_metrics]
+      attach points in kernel, mesh, switch, cluster, …) that pull live
+      component state — FIFO occupancy, link utilization, denial counts —
+      into owned instruments right before every {!snapshot}. Registering
+      a sampler under an existing name replaces it, so re-attaching
+      between runs never duplicates.
+
+    A snapshot is an alphabetical association list, so rendering it (see
+    {!Export.metrics_json}) is deterministic. *)
+
+module Stats := Apiary_engine.Stats
+
+type instrument =
+  | Counter of Stats.Counter.t
+  | Gauge of Stats.Gauge.t
+  | Histogram of Stats.Histogram.t
+
+val counter : string -> Stats.Counter.t
+(** Get or create the named counter. Raises [Invalid_argument] if the
+    name is already bound to a different instrument kind. *)
+
+val gauge : string -> Stats.Gauge.t
+val histogram : string -> Stats.Histogram.t
+
+val register : string -> instrument -> unit
+(** Adopt an existing instrument (e.g. a client's latency histogram)
+    under [name], replacing any previous binding. *)
+
+val add_sampler : name:string -> (unit -> unit) -> unit
+(** Install (or replace) a named pull hook, run by {!sample} in
+    alphabetical name order. *)
+
+val sample : unit -> unit
+(** Run all samplers (also done by {!snapshot}). *)
+
+val snapshot : unit -> (string * instrument) list
+(** Pull samplers, then return every instrument sorted by name. *)
+
+val reset : unit -> unit
+(** Reset every owned instrument (counters, gauges and histograms alike;
+    samplers are kept). *)
+
+val clear : unit -> unit
+(** Drop all instruments and samplers — between unrelated runs. *)

@@ -1,0 +1,129 @@
+type ph = Dur | Mark
+
+type event = {
+  seq : int;
+  name : string;
+  cat : string;
+  corr : int;
+  board : int;
+  track : int;
+  ts : int;
+  mutable dur : int;
+  ph : ph;
+  mutable args : (string * string) list;
+}
+
+type id = int
+(* 1-based index into the store; 0 = null. A reset bumps [epoch], so a
+   stale id from before the reset cannot close an unrelated span. *)
+
+let null = 0
+
+(* Process-global recorder. The flag is the only thing hot paths read;
+   everything else is touched under the lock, and only when enabled. *)
+let flag = ref false
+let lock = Mutex.create ()
+let cap = ref 1_048_576
+let store : event array ref = ref [||]
+let n = ref 0
+let n_dropped = ref 0
+let epoch = ref 0
+
+let set_enabled b = flag := b
+let on () = !flag
+
+let reset_locked () =
+  store := [||];
+  n := 0;
+  n_dropped := 0;
+  incr epoch
+
+let reset () =
+  Mutex.lock lock;
+  reset_locked ();
+  Mutex.unlock lock
+
+let set_capacity c =
+  assert (c > 0);
+  Mutex.lock lock;
+  cap := c;
+  reset_locked ();
+  Mutex.unlock lock
+
+(* Append under the lock; returns the 1-based slot or 0 when full. *)
+let push ev =
+  Mutex.lock lock;
+  let slot =
+    if !n >= !cap then begin
+      incr n_dropped;
+      0
+    end
+    else begin
+      if !n >= Array.length !store then begin
+        let grown = Array.make (max 1024 (2 * Array.length !store)) ev in
+        Array.blit !store 0 grown 0 !n;
+        store := grown
+      end;
+      !store.(!n) <- ev;
+      incr n;
+      !n
+    end
+  in
+  Mutex.unlock lock;
+  slot
+
+let record ?(board = -1) ?(corr = 0) ?(args = []) ~cat ~name ~track ~ts ~dur ph =
+  if not !flag then 0
+  else
+    push { seq = 0; name; cat; corr; board; track; ts; dur; ph; args }
+
+let start ?board ?corr ?args ~cat ~name ~track ~ts () =
+  if not !flag then null
+  else begin
+    let e = !epoch in
+    let slot = record ?board ?corr ?args ~cat ~name ~track ~ts ~dur:(-1) Dur in
+    if slot = 0 then null else (e * !cap) + slot
+  end
+
+(* Finishing is allowed even after tracing was switched off, so spans
+   opened during a run can be closed by callbacks that fire after the
+   driver disabled capture (a null id still short-circuits). *)
+let finish ?(args = []) ~ts id =
+  if id <> null then begin
+    Mutex.lock lock;
+    let e = id / !cap and slot = id mod !cap in
+    if e = !epoch && slot >= 1 && slot <= !n then begin
+      let ev = !store.(slot - 1) in
+      if ev.dur < 0 then begin
+        ev.dur <- max 0 (ts - ev.ts);
+        if args <> [] then ev.args <- ev.args @ args
+      end
+    end;
+    Mutex.unlock lock
+  end
+
+let complete ?board ?corr ?args ~cat ~name ~track ~ts ~dur () =
+  if !flag then
+    ignore (record ?board ?corr ?args ~cat ~name ~track ~ts ~dur:(max 0 dur) Dur)
+
+let instant ?board ?corr ?args ~cat ~name ~track ~ts () =
+  if !flag then
+    ignore (record ?board ?corr ?args ~cat ~name ~track ~ts ~dur:0 Mark)
+
+let events () =
+  Mutex.lock lock;
+  let out = List.init !n (fun i -> { !store.(i) with seq = i }) in
+  Mutex.unlock lock;
+  out
+
+let count () =
+  Mutex.lock lock;
+  let c = !n in
+  Mutex.unlock lock;
+  c
+
+let dropped () =
+  Mutex.lock lock;
+  let d = !n_dropped in
+  Mutex.unlock lock;
+  d

@@ -1,0 +1,103 @@
+(** Span-based tracing: the request-journey half of the telemetry layer.
+
+    A span is a named, cycle-stamped interval attributed to a layer
+    (category), a board and a track (tile, switch port, client), and
+    keyed by the RPC {b correlation id} already carried by fabric
+    messages — so one request's journey across monitor, NoC, network
+    service, ToR switch and remote board reconstructs by grouping spans
+    on [corr] (board-local) and the network [req_id] argument (across
+    the wire).
+
+    The recorder is process-global and {b disabled by default}: every
+    entry point checks one flag first, so instrumented hot paths pay a
+    single branch when tracing is off (the same discipline as
+    [Trace.record_lazy]). Call sites that would allocate argument lists
+    should guard with {!on} themselves.
+
+    Timestamps are simulation cycles — never wall clock — so a capture
+    from a fixed-seed run is deterministic and its export byte-stable.
+    Recording is mutex-protected for safety if a parallel engine is left
+    running with spans enabled, but deterministic capture requires a
+    monolithic (single-domain) simulation. *)
+
+type ph =
+  | Dur  (** an interval; still open while [dur] is negative *)
+  | Mark  (** a point event *)
+
+type event = {
+  seq : int;  (** recording order; export tie-breaker at equal [ts] *)
+  name : string;
+  cat : string;  (** layer: ["monitor"], ["noc"], ["net"], ["cluster"] *)
+  corr : int;  (** board-local RPC correlation id; [0] = uncorrelated *)
+  board : int;  (** board id; [-1] = rack-level (switch, clients) *)
+  track : int;  (** tile index, or a component track id (see {!Export}) *)
+  ts : int;  (** start cycle *)
+  mutable dur : int;  (** cycles; [-1] while a {!Dur} span is open *)
+  ph : ph;
+  mutable args : (string * string) list;
+}
+
+val set_enabled : bool -> unit
+val on : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded spans (the enabled flag is unchanged). *)
+
+type id
+(** Handle to an open span; the null id (returned while disabled) makes
+    {!finish} a no-op. *)
+
+val null : id
+
+val start :
+  ?board:int ->
+  ?corr:int ->
+  ?args:(string * string) list ->
+  cat:string ->
+  name:string ->
+  track:int ->
+  ts:int ->
+  unit ->
+  id
+(** Open a span. Returns {!null} when disabled or the buffer is full. *)
+
+val finish : ?args:(string * string) list -> ts:int -> id -> unit
+(** Close an open span; extra [args] are appended. No-op on {!null} or
+    when the recorder was reset since {!start}. *)
+
+val complete :
+  ?board:int ->
+  ?corr:int ->
+  ?args:(string * string) list ->
+  cat:string ->
+  name:string ->
+  track:int ->
+  ts:int ->
+  dur:int ->
+  unit ->
+  unit
+(** Record an already-closed span in one call (hop spans). *)
+
+val instant :
+  ?board:int ->
+  ?corr:int ->
+  ?args:(string * string) list ->
+  cat:string ->
+  name:string ->
+  track:int ->
+  ts:int ->
+  unit ->
+  unit
+(** Record a point event (admit, deny, fault, frame tx/rx). *)
+
+val events : unit -> event list
+(** All retained events in recording order. *)
+
+val count : unit -> int
+(** Events retained (i.e. not dropped by the capacity cap). *)
+
+val dropped : unit -> int
+(** Events discarded because the buffer cap was reached. *)
+
+val set_capacity : int -> unit
+(** Cap on retained events (default [1_048_576]); also resets. *)

@@ -903,6 +903,18 @@ let test_trace_disabled_is_free () =
   Alcotest.(check bool) "lazy detail not built" false !blew_up;
   Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.events tr))
 
+let test_trace_fold () =
+  let tr = Trace.create ~capacity:8 () in
+  Trace.set_enabled tr true;
+  for c = 1 to 12 do
+    Trace.record tr ~cycle:c ~tile:(c mod 3) ~dir:Trace.Egress ~detail:"x" ()
+  done;
+  (* Only the retained window (cycles 5..12) is folded, oldest first. *)
+  let sum = Trace.fold tr ~init:0 ~f:(fun a e -> a + e.Trace.cycle) in
+  Alcotest.(check int) "fold over retained ring" 68 sum;
+  Alcotest.(check int) "agrees with events" sum
+    (List.fold_left (fun a e -> a + e.Trace.cycle) 0 (Trace.events tr))
+
 let prop_wire_fuzz_never_crashes =
   QCheck.Test.make ~name:"wire decode never raises on fuzz" ~count:500
     QCheck.(string_of_size Gen.(int_range 0 100))
@@ -1025,6 +1037,7 @@ let () =
           Alcotest.test_case "busy accumulates" `Quick test_busy_accumulates;
           Alcotest.test_case "trace ring wraps" `Quick test_trace_ring_wraps;
           Alcotest.test_case "trace disabled free" `Quick test_trace_disabled_is_free;
+          Alcotest.test_case "trace fold" `Quick test_trace_fold;
           qc prop_wire_fuzz_never_crashes;
         ] );
       ( "observability",

@@ -208,6 +208,35 @@ let prop_hist_percentile_monotone =
       let p99 = Stats.Histogram.percentile h 99.0 in
       p25 <= p50 && p50 <= p99)
 
+let prop_hist_percentile_monotone_in_p =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200) (int_bound 100_000))
+        (pair (int_bound 1000) (int_bound 1000)))
+    (fun (samples, (pa, pb)) ->
+      let h = Stats.Histogram.create "q" in
+      List.iter (Stats.Histogram.record h) samples;
+      (* percentiles in tenths of a percent, spanning 0.0 .. 100.0 *)
+      let pa = float_of_int pa /. 10.0 and pb = float_of_int pb /. 10.0 in
+      let lo = Float.min pa pb and hi = Float.max pa pb in
+      Stats.Histogram.percentile h lo <= Stats.Histogram.percentile h hi)
+
+let prop_hist_merge_conserves =
+  QCheck.Test.make ~name:"merge_into conserves count and sum" ~count:200
+    QCheck.(pair (list (int_bound 1_000_000)) (list (int_bound 1_000_000)))
+    (fun (xs, ys) ->
+      let a = Stats.Histogram.create "a" and b = Stats.Histogram.create "b" in
+      List.iter (Stats.Histogram.record a) xs;
+      List.iter (Stats.Histogram.record b) ys;
+      let ca = Stats.Histogram.count a and cb = Stats.Histogram.count b in
+      let sa = Stats.Histogram.sum a and sb = Stats.Histogram.sum b in
+      Stats.Histogram.merge_into ~src:b ~dst:a;
+      Stats.Histogram.count a = ca + cb
+      && Stats.Histogram.sum a = sa + sb
+      && Stats.Histogram.count b = cb
+      && Stats.Histogram.sum b = sb)
+
 let prop_hist_bounded_error =
   QCheck.Test.make ~name:"p50 within 5% of exact median" ~count:100
     QCheck.(list_of_size Gen.(int_range 10 500) (int_range 1 1_000_000))
@@ -511,6 +540,8 @@ let () =
           Alcotest.test_case "empty" `Quick test_hist_empty;
           Alcotest.test_case "merge" `Quick test_hist_merge;
           qc prop_hist_percentile_monotone;
+          qc prop_hist_percentile_monotone_in_p;
+          qc prop_hist_merge_conserves;
           qc prop_hist_bounded_error;
         ] );
       ( "sim",

@@ -1,0 +1,347 @@
+(* Tests for the telemetry layer (lib/obs): the span recorder's
+   enable/reset/capacity discipline, the metrics registry, the JSON
+   exporters, and the end-to-end acceptance capture — one cross-board
+   KV call reconstructing as a corr-keyed span tree that spans the
+   caller, both boards and the ToR switch, with per-hop NoC children,
+   exported byte-stably. *)
+
+module Sim = Apiary_engine.Sim
+module Stats = Apiary_engine.Stats
+module Span = Apiary_obs.Span
+module Registry = Apiary_obs.Registry
+module Export = Apiary_obs.Export
+module Shell = Apiary_core.Shell
+module Kv = Apiary_accel.Kv
+module Cluster = Apiary_cluster.Cluster
+
+(* The recorder and registry are process-global; every test leaves them
+   disabled and empty. *)
+let with_spans f =
+  Span.reset ();
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Span recorder *)
+
+let test_span_disabled_is_noop () =
+  Span.set_enabled false;
+  Span.reset ();
+  let sid = Span.start ~cat:"t" ~name:"x" ~track:0 ~ts:1 () in
+  Span.instant ~cat:"t" ~name:"y" ~track:0 ~ts:2 ();
+  Span.complete ~cat:"t" ~name:"z" ~track:0 ~ts:3 ~dur:4 ();
+  Span.finish ~ts:9 sid;
+  Alcotest.(check int) "nothing recorded" 0 (Span.count ());
+  Alcotest.(check bool) "start returned null" true (sid = Span.null)
+
+let test_span_start_finish () =
+  with_spans (fun () ->
+      let sid =
+        Span.start ~board:2 ~corr:7
+          ~args:[ ("k", "v") ]
+          ~cat:"monitor" ~name:"rpc" ~track:3 ~ts:10 ()
+      in
+      Span.finish ~args:[ ("status", "ok") ] ~ts:25 sid;
+      match Span.events () with
+      | [ e ] ->
+        Alcotest.(check int) "dur" 15 e.Span.dur;
+        Alcotest.(check int) "board" 2 e.Span.board;
+        Alcotest.(check int) "corr" 7 e.Span.corr;
+        Alcotest.(check (list (pair string string)))
+          "args appended"
+          [ ("k", "v"); ("status", "ok") ]
+          e.Span.args
+      | l -> Alcotest.failf "want 1 event, got %d" (List.length l))
+
+let test_span_open_until_finished () =
+  with_spans (fun () ->
+      let sid = Span.start ~cat:"c" ~name:"open" ~track:0 ~ts:5 () in
+      (match Span.events () with
+      | [ e ] -> Alcotest.(check int) "open dur is -1" (-1) e.Span.dur
+      | l -> Alcotest.failf "want 1 event, got %d" (List.length l));
+      (* Closing must still work after capture is turned off: late
+         callbacks close spans opened while recording. *)
+      Span.set_enabled false;
+      Span.finish ~ts:11 sid;
+      match Span.events () with
+      | [ e ] -> Alcotest.(check int) "closed late" 6 e.Span.dur
+      | l -> Alcotest.failf "want 1 event, got %d" (List.length l))
+
+let test_span_reset_invalidates_ids () =
+  with_spans (fun () ->
+      let sid = Span.start ~cat:"c" ~name:"stale" ~track:0 ~ts:1 () in
+      Span.reset ();
+      Span.finish ~ts:50 sid;  (* must not touch the fresh store *)
+      Alcotest.(check int) "store empty after reset" 0 (Span.count ());
+      Span.instant ~cat:"c" ~name:"fresh" ~track:0 ~ts:2 ();
+      match Span.events () with
+      | [ e ] -> Alcotest.(check string) "fresh event intact" "fresh" e.Span.name
+      | l -> Alcotest.failf "want 1 event, got %d" (List.length l))
+
+let test_span_capacity_drops () =
+  with_spans (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Span.set_capacity 1_048_576)
+        (fun () ->
+          Span.set_capacity 4;
+          for i = 1 to 6 do
+            Span.instant ~cat:"c" ~name:"e" ~track:0 ~ts:i ()
+          done;
+          Alcotest.(check int) "retained at cap" 4 (Span.count ());
+          Alcotest.(check int) "overflow counted" 2 (Span.dropped ())))
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_get_or_create () =
+  Registry.clear ();
+  let c1 = Registry.counter "a.count" in
+  Stats.Counter.incr c1;
+  Alcotest.(check bool) "same instrument back" true
+    (Registry.counter "a.count" == c1);
+  Alcotest.(check int) "state survives" 1
+    (Stats.Counter.value (Registry.counter "a.count"));
+  (match Registry.gauge "a.count" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch must raise");
+  Registry.clear ()
+
+let test_registry_sampler_replace () =
+  Registry.clear ();
+  let hits = ref 0 in
+  Registry.add_sampler ~name:"s" (fun () -> hits := !hits + 100);
+  Registry.add_sampler ~name:"s" (fun () -> incr hits);
+  ignore (Registry.snapshot ());
+  Alcotest.(check int) "only the replacement ran" 1 !hits;
+  Registry.clear ()
+
+let test_registry_reset_resets_gauges () =
+  Registry.clear ();
+  let g = Registry.gauge "g" in
+  Stats.Gauge.set g 5.0;
+  Stats.Gauge.set g 9.0;
+  let h = Registry.histogram "h" in
+  Stats.Histogram.record h 42;
+  Registry.reset ();
+  Alcotest.(check (float 0.0)) "gauge value zeroed" 0.0 (Stats.Gauge.value g);
+  Alcotest.(check int) "histogram emptied" 0 (Stats.Histogram.count h);
+  (* Gauge.reset must also forget the min/max watermarks. *)
+  Stats.Gauge.set g 2.0;
+  Alcotest.(check (float 0.0)) "min restarts" 2.0 (Stats.Gauge.min g);
+  Alcotest.(check (float 0.0)) "max restarts" 2.0 (Stats.Gauge.max g);
+  Registry.clear ()
+
+let test_registry_snapshot_sorted () =
+  Registry.clear ();
+  ignore (Registry.counter "z");
+  ignore (Registry.counter "a");
+  ignore (Registry.gauge "m");
+  let names = List.map fst (Registry.snapshot ()) in
+  Alcotest.(check (list string)) "alphabetical" [ "a"; "m"; "z" ] names;
+  Registry.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let test_export_escapes_and_sorts () =
+  with_spans (fun () ->
+      Span.instant ~cat:"c" ~name:"later" ~track:0 ~ts:9 ();
+      Span.instant
+        ~args:[ ("msg", "a\"b\nc\\d") ]
+        ~cat:"c" ~name:"earlier" ~track:0 ~ts:3 ();
+      let s = Export.chrome_trace_string (Span.events ()) in
+      let idx sub =
+        let n = String.length sub in
+        let rec go i =
+          if i + n > String.length s then
+            Alcotest.failf "missing %S in export" sub
+          else if String.sub s i n = sub then i
+          else go (i + 1)
+        in
+        go 0
+      in
+      Alcotest.(check bool) "sorted by ts" true
+        (idx "\"earlier\"" < idx "\"later\"");
+      ignore (idx "\"msg\":\"a\\\"b\\nc\\\\d\"");
+      ignore (idx "\"traceEvents\""))
+
+let test_export_byte_stable () =
+  with_spans (fun () ->
+      Span.complete ~board:1 ~corr:3 ~cat:"noc" ~name:"hop" ~track:2 ~ts:10
+        ~dur:4 ();
+      let evs = Span.events () in
+      Alcotest.(check string) "same list renders identically"
+        (Export.chrome_trace_string evs)
+        (Export.chrome_trace_string evs))
+
+let test_export_metrics_json () =
+  Registry.clear ();
+  Stats.Counter.add (Registry.counter "c") 3;
+  Stats.Gauge.set (Registry.gauge "g") 1.5;
+  Stats.Gauge.set (Registry.gauge "weird") Float.nan;
+  ignore (Registry.histogram "h");  (* empty: max must render as 0 *)
+  let s = Export.metrics_json_string (Registry.snapshot ()) in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    if not (go 0) then Alcotest.failf "missing %S in %s" sub s
+  in
+  has "\"c\":{\"type\":\"counter\",\"value\":3}";
+  has "\"value\":1.5";
+  has "\"count\":0";
+  has "null";  (* NaN gauge must not emit invalid JSON *)
+  Registry.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: one cross-board KV call as a corr-keyed span tree *)
+
+let run_call_capture () =
+  Span.reset ();
+  Span.set_enabled true;
+  let sim = Sim.create () in
+  let cluster = Cluster.create sim ~boards:2 ~client_ports:1 in
+  ignore
+    (Cluster.install cluster ~board:0 ~service:"kv" (fst (Kv.behavior ())));
+  let ok = ref false in
+  let caller =
+    Shell.behavior "caller" ~on_boot:(fun sh ->
+        Sim.after (Shell.sim sh) 2_000 (fun () ->
+            Cluster.connect cluster ~board:1 sh ~service:"kv" (fun r ->
+                match r with
+                | Error _ -> ()
+                | Ok target ->
+                  Cluster.call cluster ~board:1 sh target ~op:Kv.Proto.opcode
+                    (Kv.Proto.encode_req (Kv.Proto.Put ("k1", Bytes.make 32 'v')))
+                    (fun r -> ok := Result.is_ok r))))
+  in
+  ignore (Cluster.install cluster ~board:1 caller);
+  Sim.run_for sim 60_000;
+  Span.set_enabled false;
+  let evs = Span.events () in
+  Span.reset ();
+  (!ok, evs)
+
+let test_cross_board_span_tree () =
+  let ok, evs = run_call_capture () in
+  Alcotest.(check bool) "call completed" true ok;
+  let one ~board ~cat ~name =
+    match
+      List.filter
+        (fun (e : Span.event) ->
+          e.Span.board = board && e.Span.cat = cat && e.Span.name = name
+          && e.Span.ts >= 2_000)
+        evs
+    with
+    | [ e ] -> e
+    | l ->
+      Alcotest.failf "want 1 %s/%s on board %d, got %d" cat name board
+        (List.length l)
+  in
+  (* Root: the caller's location-transparent invocation on board 1. *)
+  let call = one ~board:1 ~cat:"cluster" ~name:"call" in
+  Alcotest.(check (option string)) "call ok" (Some "ok")
+    (List.assoc_opt "status" call.Span.args);
+  (* Child: the netsvc leg, keyed by the caller's corr id; its req_id
+     argument is the cross-board join key. *)
+  let remote = one ~board:1 ~cat:"net" ~name:"remote" in
+  Alcotest.(check bool) "remote corr-keyed" true (remote.Span.corr > 0);
+  Alcotest.(check bool) "remote nested in call" true
+    (call.Span.ts <= remote.Span.ts
+    && remote.Span.ts + remote.Span.dur <= call.Span.ts + call.Span.dur);
+  let req_id =
+    match List.assoc_opt "req_id" remote.Span.args with
+    | Some r -> r
+    | None -> Alcotest.fail "remote span carries no req_id"
+  in
+  (* The same corr groups the caller-side monitor RPC and its per-hop
+     NoC children on board 1. *)
+  let by_corr cat =
+    List.filter
+      (fun (e : Span.event) ->
+        e.Span.board = 1 && e.Span.cat = cat && e.Span.corr = remote.Span.corr)
+      evs
+  in
+  Alcotest.(check bool) "caller monitor rpc under same corr" true
+    (by_corr "monitor" <> []);
+  Alcotest.(check bool) "per-hop NoC children under same corr" true
+    (List.exists (fun (e : Span.event) -> e.Span.name = "hop") (by_corr "noc"));
+  (* The wire hop: a rack-level (board -1) ToR switch span between the
+     two boards. *)
+  let tor =
+    List.filter
+      (fun (e : Span.event) ->
+        e.Span.board = -1 && e.Span.cat = "switch" && e.Span.ts >= 2_000)
+      evs
+  in
+  Alcotest.(check bool) "ToR switch span present" true (tor <> []);
+  (* Far side: board 0 serves the same req_id, inside the remote leg's
+     window, with its own fabric RPC and NoC hops. *)
+  let serve = one ~board:0 ~cat:"net" ~name:"serve" in
+  Alcotest.(check (option string)) "req_id joins the boards" (Some req_id)
+    (List.assoc_opt "req_id" serve.Span.args);
+  Alcotest.(check bool) "serve inside the remote window" true
+    (remote.Span.ts <= serve.Span.ts
+    && serve.Span.ts + serve.Span.dur <= remote.Span.ts + remote.Span.dur);
+  let served_hops =
+    List.filter
+      (fun (e : Span.event) ->
+        e.Span.board = 0 && e.Span.cat = "noc" && e.Span.name = "hop"
+        && e.Span.corr > 0
+        && e.Span.ts >= serve.Span.ts
+        && e.Span.ts <= serve.Span.ts + serve.Span.dur)
+      evs
+  in
+  Alcotest.(check bool) "serving board has per-hop NoC spans" true
+    (served_hops <> [])
+
+let test_capture_byte_stable_across_runs () =
+  let _, evs1 = run_call_capture () in
+  let _, evs2 = run_call_capture () in
+  let s1 = Export.chrome_trace_string evs1 in
+  let s2 = Export.chrome_trace_string evs2 in
+  Alcotest.(check bool) "export is non-trivial" true (String.length s1 > 1000);
+  Alcotest.(check string) "two fixed-seed captures export identically" s1 s2
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "disabled is no-op" `Quick test_span_disabled_is_noop;
+          Alcotest.test_case "start/finish" `Quick test_span_start_finish;
+          Alcotest.test_case "open until finished" `Quick
+            test_span_open_until_finished;
+          Alcotest.test_case "reset invalidates ids" `Quick
+            test_span_reset_invalidates_ids;
+          Alcotest.test_case "capacity drops" `Quick test_span_capacity_drops;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "get or create" `Quick test_registry_get_or_create;
+          Alcotest.test_case "sampler replace" `Quick test_registry_sampler_replace;
+          Alcotest.test_case "reset (incl. gauges)" `Quick
+            test_registry_reset_resets_gauges;
+          Alcotest.test_case "snapshot sorted" `Quick test_registry_snapshot_sorted;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "escapes and sorts" `Quick test_export_escapes_and_sorts;
+          Alcotest.test_case "byte stable" `Quick test_export_byte_stable;
+          Alcotest.test_case "metrics json" `Quick test_export_metrics_json;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "cross-board span tree" `Quick
+            test_cross_board_span_tree;
+          Alcotest.test_case "capture byte-stable" `Quick
+            test_capture_byte_stable_across_runs;
+        ] );
+    ]
