@@ -176,17 +176,46 @@ let write_perf_json path =
 
 (* Hot-path profile (APIARY_PROF=1): cumulative wall time and invocation
    count per ticker name, aggregated across every simulator in the
-   process. *)
+   process. Read back through the metrics registry — the built-in
+   [obs.prof] sampler publishes [prof.<ticker>.calls/.seconds] gauges —
+   so --perf console output and --obs metrics dumps render the same
+   pipeline's numbers. *)
 let print_profile () =
   if Profile.enabled () then begin
-    match Profile.snapshot () with
+    let module Registry = Apiary_obs.Registry in
+    let gauge suffix name =
+      Stats.Gauge.value
+        (Registry.gauge (Printf.sprintf "prof.%s.%s" name suffix))
+    in
+    let rows =
+      List.filter_map
+        (fun (key, inst) ->
+          match inst with
+          | Registry.Gauge _ when
+              String.length key > 13
+              && String.sub key 0 5 = "prof."
+              && String.sub key (String.length key - 8) 8 = ".seconds" ->
+            Some (String.sub key 5 (String.length key - 13))
+          | _ -> None)
+        (Registry.snapshot ())
+    in
+    (* The registry snapshot is alphabetical; keep the profiler's own
+       order (descending wall time) for the table. *)
+    let rows =
+      List.sort
+        (fun a b -> compare (gauge "seconds" b) (gauge "seconds" a))
+        rows
+    in
+    match rows with
     | [] -> ()
     | rows ->
       subhead "ticker profile (APIARY_PROF)";
       table
         [ "ticker"; "calls"; "seconds"; "ns/call" ]
         (List.map
-           (fun (name, calls, seconds) ->
+           (fun name ->
+             let calls = int_of_float (gauge "calls" name) in
+             let seconds = gauge "seconds" name in
              [
                name;
                commas calls;

@@ -17,6 +17,9 @@ module Traffic = Apiary_noc.Traffic
 module Kernel = Apiary_core.Kernel
 module Monitor = Apiary_core.Monitor
 module Trace = Apiary_core.Trace
+module Statsvc = Apiary_core.Statsvc
+module Perf = Apiary_obs.Perf
+module Flight = Apiary_obs.Flight
 module Kv = Apiary_accel.Kv
 module Accels = Apiary_accel.Accels
 module Client = Apiary_net.Client
@@ -100,6 +103,17 @@ let run_cmd scenario cycles clients enforce trace_on seed =
   let board = Board.create ~kernel_cfg:kcfg sim in
   let kernel = board.Board.kernel in
   if trace_on then Trace.set_enabled (Kernel.trace kernel) true;
+  (* With APIARY_FLIGHT=1 the kernel armed its flight recorder at boot:
+     dump the postmortem on the first fail-stop. *)
+  Kernel.on_fault kernel (fun tile reason ->
+      let f = Kernel.flight kernel in
+      if Flight.enabled f then begin
+        let path = "apiary_postmortem.json" in
+        Flight.write_dump f
+          ~reason:(Printf.sprintf "tile %d: %s" tile reason)
+          ~cycle:(Sim.now sim) path;
+        Printf.printf "flight recorder dumped -> %s\n" path
+      end);
   let service, op, gen = install_scenario board scenario seed in
   let cs =
     List.init clients (fun idx ->
@@ -178,6 +192,106 @@ let obs_cmd scenario cycles clients seed trace_out metrics_out =
   Span.reset ();
   Registry.clear ();
   0
+
+(* ------------------------------------------------------------------ *)
+(* top *)
+
+(* A live per-tile counter view, htop-style, fed entirely in-band: a
+   reader tile connects to the capability-gated stat service and polls
+   every tile's counter block (plus the merged board summary, whose
+   router columns come from the NoC blocks) over the fabric itself.
+   --once renders only the final frame — the CI smoke mode. *)
+
+let top_cmd scenario cycles clients interval once seed =
+  let sim = Sim.create () in
+  let board = Board.create sim in
+  let kernel = board.Board.kernel in
+  let service, op, gen = install_scenario board scenario seed in
+  (* The scenario took user tiles from the front; take ours from the
+     back so we never collide with it. *)
+  let stat_tile, reader_tile =
+    match List.rev (Board.user_tiles board) with
+    | a :: b :: _ -> (a, b)
+    | _ -> failwith "top: board too small"
+  in
+  ignore (Statsvc.install kernel ~tile:stat_tile);
+  (* Watchdog sweeps pulse every tile's heartbeat counter (the hb
+     column) and would flag a stuck or congested tile in the view. *)
+  ignore (Apiary_core.Health.create kernel);
+  let n = Kernel.n_tiles kernel in
+  let blocks : Perf.t option array = Array.make (n + 1) None in
+  let frames = ref 0 in
+  let render now =
+    incr frames;
+    Printf.printf "\n-- apiary top: cycle %d, scenario %s (frame %d) --\n" now
+      service !frames;
+    Printf.printf "%-5s %-10s %8s %8s %8s %6s %6s %6s %6s %4s\n" "tile"
+      "behavior" "msgs_in" "msgs_out" "syscalls" "deny" "drop" "nack" "fault"
+      "hb";
+    for t = 0 to n - 1 do
+      match blocks.(t) with
+      | None -> ()
+      | Some p ->
+        let r slot = Perf.read p slot in
+        Printf.printf "%-5d %-10s %8d %8d %8d %6d %6d %6d %6d %4d\n" t
+          (Monitor.behavior_name (Kernel.monitor kernel t))
+          (r Perf.msgs_in) (r Perf.msgs_out) (r Perf.syscalls) (r Perf.denials)
+          (r Perf.drops) (r Perf.nacks) (r Perf.faults) (r Perf.heartbeats)
+    done;
+    match blocks.(n) with
+    | None -> ()
+    | Some p ->
+      Printf.printf
+        "board: %d flits routed, %d credit stalls, peak router occ %d\n"
+        (Perf.read p Perf.flits)
+        (Perf.read p Perf.credit_stalls)
+        (Perf.read p Perf.occ_peak)
+  in
+  Kernel.install kernel ~tile:reader_tile
+    (Apiary_core.Shell.behavior "top" ~on_boot:(fun sh ->
+         let module Shell = Apiary_core.Shell in
+         Sim.after (Shell.sim sh) 2_000 (fun () ->
+             Shell.connect sh ~service:Statsvc.service_name (fun r ->
+                 match r with
+                 | Error _ -> ()
+                 | Ok conn ->
+                   (* One query at a time: a polite reader stays inside
+                      its monitor's rate budget at any interval. *)
+                   let rec fire qs =
+                     match qs with
+                     | [] ->
+                       if not once then render (Shell.now sh);
+                       Sim.after (Shell.sim sh) interval refresh
+                     | (q, slot) :: rest ->
+                       Shell.request sh conn ~opcode:Statsvc.opcode
+                         (Statsvc.encode_query q) (fun r ->
+                           (match r with
+                           | Ok m ->
+                             blocks.(slot) <-
+                               Perf.decode m.Apiary_core.Message.payload
+                           | Error _ -> ());
+                           fire rest)
+                   and refresh () =
+                     fire
+                       (List.init n (fun t -> (Statsvc.Tile t, t))
+                       @ [ (Statsvc.Board, n) ])
+                   in
+                   refresh ()))));
+  let cs =
+    List.init clients (fun idx ->
+        let c = Board.client board ~port:(idx + 1) () in
+        Sim.after sim (2_000 + (idx * 71)) (fun () ->
+            Client.start_closed c { Client.service; op; gen } ~concurrency:4);
+        c)
+  in
+  Sim.run_for sim cycles;
+  List.iter Client.stop cs;
+  if once then render cycles;
+  if !frames = 0 then begin
+    Printf.printf "top: no frames collected (cycles too short?)\n";
+    1
+  end
+  else 0
 
 (* ------------------------------------------------------------------ *)
 (* noc *)
@@ -309,6 +423,31 @@ let obs_cmd_info =
   Cmd.info "obs"
     ~doc:"Run a scenario with telemetry on: span trace + metrics snapshot"
 
+let top_term =
+  let scenario =
+    Arg.(value & opt scenario_conv Kv_scenario & info [ "scenario"; "s" ]
+           ~doc:"Scenario: echo, kv or vpipe.")
+  in
+  let cycles =
+    Arg.(value & opt int 200_000 & info [ "cycles" ] ~doc:"Cycles to simulate.")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Client hosts on the switch.")
+  in
+  let interval =
+    Arg.(value & opt int 20_000 & info [ "interval" ]
+           ~doc:"Cycles between counter refreshes.")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"Render only the final frame (batch/CI mode).")
+  in
+  Term.(const top_cmd $ scenario $ cycles $ clients $ interval $ once $ seed_arg)
+
+let top_cmd_info =
+  Cmd.info "top"
+    ~doc:"Live per-tile counter view, read in-band through the stat service"
+
 let noc_term =
   let pattern =
     Arg.(value & opt pattern_conv `Uniform & info [ "pattern" ]
@@ -351,6 +490,7 @@ let () =
           [
             Cmd.v run_cmd_info run_term;
             Cmd.v obs_cmd_info obs_term;
+            Cmd.v top_cmd_info top_term;
             Cmd.v noc_cmd_info noc_term;
             Cmd.v area_cmd_info area_term;
           ]))

@@ -21,6 +21,7 @@ type t = {
   exported : (int, string list) Hashtbl.t;  (* board -> services, for re-reg *)
   mutable next_client_port : int;
   mutable on_up : (int -> unit) list;
+  mutable on_down : (int -> unit) list;
 }
 
 (* The board uplink is a 100G link (50 B/cycle) with 125 cycles of
@@ -77,6 +78,7 @@ let create ?kernel_cfg ?(client_ports = 8) ?(switch_latency = 250)
     exported = Hashtbl.create 8;
     next_client_port = boards;
     on_up = [];
+    on_down = [];
   }
 
 let sim t = t.sim
@@ -124,6 +126,16 @@ let kill t ~board =
   nd.Node.up <- false
 
 let on_board_up t f = t.on_up <- t.on_up @ [ f ]
+let on_board_down t f = t.on_down <- t.on_down @ [ f ]
+
+(* A failure *detection* (the rack watchdog missing heartbeats, not the
+   injection itself — kill notifies nobody): unregister the board's
+   replicas and push the news to subscribers, so shard rings and load
+   balancers stop aiming at the corpse before their own request
+   timeouts would have told them. *)
+let report_down t ~board =
+  Directory.report_failure t.directory ~board;
+  List.iter (fun f -> f board) t.on_down
 
 (* Recovery is announced: the board re-registers its services with the
    directory (a gratuitous announcement, like gratuitous ARP) and

@@ -89,6 +89,16 @@ val on_board_up : t -> (int -> unit) -> unit
 (** Subscribe to recovery announcements (shard rings and load balancers
     use this to re-admit a returning board). *)
 
+val on_board_down : t -> (int -> unit) -> unit
+(** Subscribe to failure {e detections}. {!kill} itself notifies nobody;
+    this fires when a detector — the {!Rack_health} watchdog missing
+    heartbeats — calls {!report_down}, letting clients fail over ahead
+    of their own request timeouts. *)
+
+val report_down : t -> board:int -> unit
+(** Declare a board failed: unregister its directory replicas and fire
+    {!on_board_down} subscribers. Called by failure detectors. *)
+
 (** {1 External clients} *)
 
 val add_client : ?gbps:float -> t -> Mac.t * int

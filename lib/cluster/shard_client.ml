@@ -125,6 +125,34 @@ let rec issue_work t work_id =
             drop_board t p.board;
             if t.running then issue_work t p.work_id)
 
+(* Alarm-driven failover (the rack watchdog spoke, not our timeout):
+   reshard away from the board and reissue every in-flight request
+   aimed at it right now, instead of letting each one age out. The
+   still-armed per-request timers find their pending entries gone and
+   do nothing. *)
+let board_down t board =
+  Shard.remove t.ring board;
+  Shard.Rr.remove t.rr board;
+  let stale =
+    Hashtbl.fold
+      (fun req_id p acc -> if p.board = board then (req_id, p) :: acc else acc)
+      t.pending []
+  in
+  (* Hashtbl.fold order is unspecified: sort for determinism. *)
+  let stale = List.sort (fun (a, _) (b, _) -> compare a b) stale in
+  List.iter
+    (fun (req_id, p) ->
+      Hashtbl.remove t.pending req_id;
+      Span.finish ~args:[ ("status", "board_down") ] ~ts:(Sim.now t.sim) p.sid;
+      if Span.on () then
+        Span.instant
+          ~args:[ ("board", string_of_int p.board); ("via", "watchdog") ]
+          ~cat:"client" ~name:"failover" ~track:(obs_track t)
+          ~ts:(Sim.now t.sim) ();
+      t.failovers <- t.failovers + 1;
+      if t.running then issue_work t p.work_id)
+    stale
+
 let fresh_work t =
   t.next_work <- t.next_work + 1;
   issue_work t t.next_work
@@ -183,6 +211,7 @@ let create ?(vnodes = 64) ?(timeout = 25_000) ?gbps cluster ~service ~op ~route
     }
   in
   Cluster.on_board_up cluster (fun b -> readmit_board t b);
+  Cluster.on_board_down cluster (fun b -> board_down t b);
   Mac.set_rx mac (fun f -> handle_frame t f);
   t
 

@@ -39,6 +39,7 @@ type t = {
   k_dram : Dram.t;
   k_alloc : Seg_alloc.t;
   k_trace : Trace.t;
+  k_flight : Apiary_obs.Flight.t;
   monitors : Monitor.t array;
   unregister_names : int -> unit;
   mutable fault_subs : (int -> string -> unit) list;
@@ -61,6 +62,7 @@ let mesh t = t.k_mesh
 let dram t = t.k_dram
 let allocator t = t.k_alloc
 let trace t = t.k_trace
+let flight t = t.k_flight
 let monitor t i = t.monitors.(i)
 
 let is_service_tile t i = i = t.cfg.name_tile || i = t.cfg.mem_tile
@@ -96,7 +98,8 @@ let total_dropped t =
 
 let set_obs_board t id =
   Trace.set_board t.k_trace id;
-  Mesh.set_obs_board t.k_mesh id
+  Mesh.set_obs_board t.k_mesh id;
+  Apiary_obs.Flight.set_board t.k_flight id
 
 module Registry = Apiary_obs.Registry
 module Stats = Apiary_engine.Stats
@@ -132,6 +135,20 @@ let create sim cfg =
   let k_dram = Dram.create sim cfg.dram ~size_bytes:cfg.dram_bytes in
   let k_alloc = Seg_alloc.create ~base:0 ~size:cfg.dram_bytes cfg.alloc_policy in
   let k_trace = Trace.create ~capacity:cfg.trace_capacity () in
+  (* The board's black box. APIARY_FLIGHT=1 arms it at boot (the CLI and
+     bench also arm it explicitly); APIARY_FLIGHT_CAP resizes the ring.
+     Disabled (the default), it records nothing and changes no output. *)
+  let k_flight =
+    let capacity =
+      match Sys.getenv_opt "APIARY_FLIGHT_CAP" with
+      | Some s -> ( try max 16 (int_of_string s) with _ -> 256)
+      | None -> 256
+    in
+    let f = Apiary_obs.Flight.create ~capacity () in
+    if Sys.getenv_opt "APIARY_FLIGHT" = Some "1" then
+      Apiary_obs.Flight.set_enabled f true;
+    f
+  in
   let name_behavior, unregister_names = Services.name_service () in
   let mem_behavior = Services.mem_service k_dram k_alloc in
   (* Monitors are created below; fabric closures capture the array. *)
@@ -188,7 +205,7 @@ let create sim cfg =
           else Monitor.idle_behavior
         in
         Monitor.create sim ~tile (monitor_cfg_of tile) (fabric_of tile)
-          ~trace:k_trace ~privileged behavior)
+          ~trace:k_trace ~flight:k_flight ~privileged behavior)
   in
   monitors_ref := monitors;
   (* NoC delivery -> monitor ingress. *)
@@ -205,6 +222,7 @@ let create sim cfg =
       k_dram;
       k_alloc;
       k_trace;
+      k_flight;
       monitors;
       unregister_names;
       fault_subs = [];

@@ -56,6 +56,13 @@ val mesh : t -> Message.t Mesh.t
 val dram : t -> Dram.t
 val allocator : t -> Seg_alloc.t
 val trace : t -> Trace.t
+
+val flight : t -> Apiary_obs.Flight.t
+(** The board's fault flight recorder, shared by every monitor. Disabled
+    by default; arm it with [Apiary_obs.Flight.set_enabled] (or boot
+    with [APIARY_FLIGHT=1]; [APIARY_FLIGHT_CAP] resizes the ring) and
+    dump it from an {!on_fault} subscriber. *)
+
 val monitor : t -> int -> Monitor.t
 
 (** {1 Application management} *)

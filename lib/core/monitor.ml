@@ -3,6 +3,8 @@ module Fifo = Apiary_engine.Fifo
 module Rng = Apiary_engine.Rng
 module Stats = Apiary_engine.Stats
 module Span = Apiary_obs.Span
+module Perf = Apiary_obs.Perf
+module Flight = Apiary_obs.Flight
 module Store = Apiary_cap.Store
 module Rights = Apiary_cap.Rights
 
@@ -106,13 +108,13 @@ and t = {
   mutable on_error : string -> unit;
   reply_ok : (int * int, int) Hashtbl.t;  (* (peer tile, corr) -> windows *)
   mutable granted : (Store.t * Store.handle) list;
-  c_in : Stats.Counter.t;
-  c_out : Stats.Counter.t;
-  c_denied : Stats.Counter.t;
-  c_dropped : Stats.Counter.t;
-  c_nacked : Stats.Counter.t;
+  perf : Perf.t;  (* the tile's hardware counter block *)
+  flight : Flight.t;  (* board flight recorder (shared, owned by kernel) *)
   lat_added : Stats.Histogram.t;
   mutable hang_cycles : int;
+  mutable last_progress : int;
+      (* last cycle this monitor moved a message (egress admit or rx
+         delivery) — what the health layer's heartbeat deadline watches *)
 }
 
 let idle_behavior =
@@ -143,7 +145,11 @@ let obs_board t = Option.value ~default:(-1) (Trace.board t.trace)
 let obs_mark t ?corr ?args name =
   if Span.on () then
     Span.instant ~board:(obs_board t) ?corr ?args ~cat:"monitor" ~name
-      ~track:t.m_tile ~ts:(now t) ()
+      ~track:t.m_tile ~ts:(now t) ();
+  (* Same marks feed the board flight recorder, so a postmortem has the
+     admit/deny/drop/fault sequence even when span capture is off. *)
+  Flight.record t.flight ~ts:(now t) ~tile:t.m_tile ~cat:"monitor" ~name ?corr
+    ?args ()
 
 let trace_msg t dir m =
   Trace.record_lazy t.trace ~corr:m.Message.corr ~cycle:(now t) ~tile:t.m_tile
@@ -167,8 +173,12 @@ let egress_class t (m : Message.t) =
 
 let enqueue t entry =
   let m = entry_msg entry in
+  (* Every shell call that reaches the egress path is one monitor
+     "syscall" — the in-band measure of how hard a tile works its
+     monitor. *)
+  Perf.incr t.perf Perf.syscalls;
   if not (Fifo.push t.egress.(egress_class t m) entry) then begin
-    Stats.Counter.incr t.c_dropped;
+    Perf.incr t.perf Perf.drops;
     trace_msg t Trace.Dropped m;
     obs_mark t ~corr:m.Message.corr
       ~args:[ ("reason", "egress queue full") ]
@@ -235,7 +245,7 @@ let process_egress t =
     (match check t entry with
     | Error reason ->
       ignore (Fifo.pop q);
-      Stats.Counter.incr t.c_denied;
+      Perf.incr t.perf Perf.denials;
       trace_msg t Trace.Denied m;
       obs_mark t ~corr:m.Message.corr ~args:[ ("reason", reason) ] "deny";
       if m.Message.corr > 0 && not m.Message.is_reply then
@@ -277,7 +287,8 @@ let process_egress t =
           | None -> ())
         | _ -> ());
         ignore (Fifo.pop q);
-        Stats.Counter.incr t.c_out;
+        Perf.incr t.perf Perf.msgs_out;
+        t.last_progress <- now t;
         trace_msg t Trace.Egress m;
         obs_mark t ~corr:m.Message.corr "admit";
         Stats.Histogram.record t.lat_added
@@ -512,6 +523,7 @@ let quiesce t ~reason ~notify =
   (match t.m_state with
   | Draining _ | Offline -> ()
   | Running ->
+    Perf.incr t.perf Perf.faults;
     tracef t Trace.Fault reason;
     obs_mark t ~args:[ ("reason", reason) ] "fault";
     Array.iter Fifo.clear t.egress;
@@ -547,6 +559,7 @@ let reset t b =
   t.behavior <- b;
   t.busy_until <- 0;
   t.hang_cycles <- 0;
+  t.last_progress <- now t;
   t.m_store <- Store.create ~capacity:t.cfg.cap_capacity ~tile:t.m_tile ();
   Sim.after t.m_sim 1 (fun () -> if t.behavior == b then b.on_boot t)
 
@@ -555,7 +568,7 @@ let reset t b =
 
 let nack t (m : Message.t) reason =
   if m.Message.corr > 0 && not m.Message.is_reply then begin
-    Stats.Counter.incr t.c_nacked;
+    Perf.incr t.perf Perf.nacks;
     let reply =
       Message.make ~src:(control_addr t) ~dst:m.Message.src
         ~kind:(Message.Control (Message.Nack { reason }))
@@ -600,7 +613,7 @@ let deliver_reply t (m : Message.t) =
     | _ -> cb (Ok m))
   | Some _ | None ->
     (* Unsolicited or late reply — count and drop. *)
-    Stats.Counter.incr t.c_dropped;
+    Perf.incr t.perf Perf.drops;
     trace_msg t Trace.Dropped m
 
 let ingress t (m : Message.t) =
@@ -610,7 +623,7 @@ let ingress t (m : Message.t) =
     nack t m "fail-stop"
   | Offline -> trace_msg t Trace.Dropped m
   | Running ->
-    Stats.Counter.incr t.c_in;
+    Perf.incr t.perf Perf.msgs_in;
     trace_msg t Trace.Ingress m;
     if m.Message.is_reply then deliver_reply t m
     else begin
@@ -631,6 +644,7 @@ let ingress t (m : Message.t) =
 let deliver_one t =
   if now t >= t.busy_until && not (Queue.is_empty t.rx) then begin
     let m = Queue.take t.rx in
+    t.last_progress <- now t;
     (* Open a one-shot reply window for requests. *)
     if m.Message.corr > 0 && not m.Message.is_reply then begin
       let key = (m.Message.src.Message.tile, m.Message.corr) in
@@ -687,7 +701,10 @@ let tick t =
       Sim.Busy
     end
 
-let create sim ~tile cfg fabric ~trace ~privileged behavior =
+let create sim ~tile cfg fabric ~trace ?flight ~privileged behavior =
+  let flight =
+    match flight with Some f -> f | None -> Apiary_obs.Flight.create ()
+  in
   let t =
     {
       m_sim = sim;
@@ -716,13 +733,11 @@ let create sim ~tile cfg fabric ~trace ~privileged behavior =
       on_error = (fun _ -> ());
       reply_ok = Hashtbl.create 16;
       granted = [];
-      c_in = Stats.Counter.create (Printf.sprintf "mon%d.in" tile);
-      c_out = Stats.Counter.create (Printf.sprintf "mon%d.out" tile);
-      c_denied = Stats.Counter.create (Printf.sprintf "mon%d.denied" tile);
-      c_dropped = Stats.Counter.create (Printf.sprintf "mon%d.dropped" tile);
-      c_nacked = Stats.Counter.create (Printf.sprintf "mon%d.nacked" tile);
+      perf = Perf.create ();
+      flight;
       lat_added = Stats.Histogram.create (Printf.sprintf "mon%d.added-latency" tile);
       hang_cycles = 0;
+      last_progress = 0;
     }
   in
   Sim.add_clocked ~name:"monitor" sim (fun () -> tick t);
@@ -757,11 +772,14 @@ let priv_respond_control t (req : Message.t) ?payload control =
 (* ------------------------------------------------------------------ *)
 (* Stats *)
 
-let msgs_in t = Stats.Counter.value t.c_in
-let msgs_out t = Stats.Counter.value t.c_out
-let denied t = Stats.Counter.value t.c_denied
-let dropped t = Stats.Counter.value t.c_dropped
-let nacks_sent t = Stats.Counter.value t.c_nacked
+let perf t = t.perf
+let msgs_in t = Perf.read t.perf Perf.msgs_in
+let msgs_out t = Perf.read t.perf Perf.msgs_out
+let denied t = Perf.read t.perf Perf.denials
+let dropped t = Perf.read t.perf Perf.drops
+let nacks_sent t = Perf.read t.perf Perf.nacks
 let rate_stalls t = Rate_limiter.stalled_msgs t.bucket
 let added_latency t = t.lat_added
 let rx_backlog t = Queue.length t.rx
+let last_progress t = t.last_progress
+let has_egress_backlog t = egress_pending t

@@ -68,10 +68,12 @@ type fabric = {
 }
 
 val create :
-  Sim.t -> tile:int -> config -> fabric -> trace:Trace.t -> privileged:bool ->
-  behavior -> t
+  Sim.t -> tile:int -> config -> fabric -> trace:Trace.t ->
+  ?flight:Apiary_obs.Flight.t -> privileged:bool -> behavior -> t
 (** Create the monitor and register its tick. [on_boot] runs in the event
-    phase of the next cycle. *)
+    phase of the next cycle. [flight] is the board's shared flight
+    recorder (the kernel passes its own); a private disabled one is used
+    when omitted. *)
 
 (** {1 Identity and state} *)
 
@@ -201,6 +203,11 @@ val priv_respond_control :
 
 (** {1 Statistics} *)
 
+val perf : t -> Apiary_obs.Perf.t
+(** The tile's hardware counter block (messages in/out, syscalls,
+    denials, drops, NACKs, faults, health heartbeats) — updated
+    cycle-accurately and readable in-band through the stat service. *)
+
 val msgs_in : t -> int
 val msgs_out : t -> int
 val denied : t -> int
@@ -212,3 +219,13 @@ val added_latency : t -> Stats.Histogram.t
     checks) — the E1 overhead metric. *)
 
 val rx_backlog : t -> int
+
+val last_progress : t -> int
+(** Last cycle this monitor moved a message (rx delivery or egress
+    admit) — the heartbeat the health layer's deadline watches. A tile
+    with queued work and a stale [last_progress] is stuck; an idle tile
+    (no queued work) is healthy no matter how old its timestamp is, so
+    quiescence fast-forward cannot cause false positives. *)
+
+val has_egress_backlog : t -> bool
+(** Any committed egress entry waiting in a class queue. *)

@@ -1,0 +1,98 @@
+(* The in-fabric introspection service (paper §6: how do operators
+   manage a standalone fabric with no host in the loop?).
+
+   A normal service tile — installed with [Kernel.install], named
+   through the name service, reached over capability-gated connections
+   like every other service — whose replies are the fabric's own
+   hardware counter blocks. Monitors are mutually trusted hardware, so
+   the service reads peer blocks directly (the same access discipline
+   [fabric.f_monitor_of] already grants); what the capability system
+   gates is who may *ask*: a client needs a send capability from
+   Connect_req, and cross-board readers go through netsvc like any
+   remote caller. *)
+
+module Perf = Apiary_obs.Perf
+module Mesh = Apiary_noc.Mesh
+
+(* "ST" *)
+let opcode = 0x5354
+let service_name = "stat"
+
+type query = Tile of int | Router of int | Board
+
+(* Query wire format: kind u8, arg u16 be. *)
+let encode_query q =
+  let b = Bytes.create 3 in
+  (match q with
+  | Tile t ->
+    Bytes.set_uint8 b 0 1;
+    Bytes.set_uint16_be b 1 t
+  | Router t ->
+    Bytes.set_uint8 b 0 2;
+    Bytes.set_uint16_be b 1 t
+  | Board ->
+    Bytes.set_uint8 b 0 3;
+    Bytes.set_uint16_be b 1 0);
+  b
+
+let decode_query b =
+  if Bytes.length b <> 3 then None
+  else
+    let arg = Bytes.get_uint16_be b 1 in
+    match Bytes.get_uint8 b 0 with
+    | 1 -> Some (Tile arg)
+    | 2 -> Some (Router arg)
+    | 3 -> Some Board
+    | _ -> None
+
+let read_tile k tile =
+  if tile < 0 || tile >= Kernel.n_tiles k then None
+  else Some (Monitor.perf (Kernel.monitor k tile))
+
+let read_router k tile =
+  if tile < 0 || tile >= Kernel.n_tiles k then None
+  else
+    Some (Apiary_noc.Router.perf (Mesh.router_at (Kernel.mesh k) (Kernel.coord_of_tile k tile)))
+
+let board_summary k =
+  let acc = Perf.create () in
+  for tile = 0 to Kernel.n_tiles k - 1 do
+    Perf.merge_into ~src:(Monitor.perf (Kernel.monitor k tile)) ~dst:acc;
+    match read_router k tile with
+    | Some p -> Perf.merge_into ~src:p ~dst:acc
+    | None -> ()
+  done;
+  acc
+
+let answer k q =
+  match q with
+  | Tile t -> read_tile k t
+  | Router t -> read_router k t
+  | Board -> Some (board_summary k)
+
+let behavior k =
+  let on_message shell (m : Message.t) =
+    match m.Message.kind with
+    | Message.Data { opcode = op }
+      when op = opcode && m.Message.corr > 0 && not m.Message.is_reply ->
+      let reply =
+        match decode_query m.Message.payload with
+        | None -> Bytes.empty  (* malformed query: empty = error *)
+        | Some q -> (
+          match answer k q with
+          | None -> Bytes.empty
+          | Some p -> Perf.encode p)
+      in
+      Monitor.respond shell m ~opcode reply
+    | _ -> ()
+  in
+  {
+    Monitor.bname = "sys.stat";
+    on_boot = (fun shell -> Monitor.register_service shell service_name);
+    on_message;
+    on_tick = None;
+  }
+
+let install k ~tile =
+  Kernel.install k ~tile (behavior k);
+  tile

@@ -1,0 +1,37 @@
+(** The [sys-stat] introspection service: in-band, capability-gated
+    reads of the fabric's own performance-counter blocks.
+
+    Runs on an ordinary fabric tile and registers the service name
+    ["stat"], so reaching it uses the same machinery as any other
+    service — name lookup, [Connect_req], a granted send capability,
+    rate limits — and a remote operator reaches it across the rack
+    through the network service by name, no new transport. Queries and
+    replies are {!Apiary_obs.Perf} wire blocks; a malformed or
+    out-of-range query gets an empty reply.
+
+    This is what backs [apiary top]. *)
+
+val opcode : int
+(** Data opcode 0x5354 ("ST"). *)
+
+val service_name : string
+(** ["stat"]. *)
+
+type query =
+  | Tile of int  (** the tile monitor's counter block *)
+  | Router of int  (** the NoC router at the tile's coordinate *)
+  | Board  (** every monitor and router merged into one block *)
+
+val encode_query : query -> bytes
+val decode_query : bytes -> query option
+
+val answer : Kernel.t -> query -> Apiary_obs.Perf.t option
+(** Resolve a query directly (what the service does per request; also
+    usable in-process by the CLI for [--once] rendering). [None] for an
+    out-of-range tile. *)
+
+val behavior : Kernel.t -> Monitor.behavior
+(** The service behavior; install on a user tile. *)
+
+val install : Kernel.t -> tile:int -> int
+(** [Kernel.install] the behavior on [tile]; returns the tile. *)

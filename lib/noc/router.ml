@@ -1,6 +1,7 @@
 module Fifo = Apiary_engine.Fifo
 module Sim = Apiary_engine.Sim
 module Span = Apiary_obs.Span
+module Perf = Apiary_obs.Perf
 
 type 'a chan = {
   buf : 'a Packet.Flit.t Fifo.t;
@@ -74,8 +75,7 @@ type 'a t = {
   slot_ov : int array;  (* requested output vc per slot *)
   slot_p : int array;  (* slot -> input port index (avoids hot-path div) *)
   slot_v : int array;  (* slot -> input vc *)
-  mutable flits_routed : int;
-  mutable busy_cycles : int;
+  perf : Perf.t;  (* per-router counter block (readable in-band) *)
 }
 
 let coord t = t.coord
@@ -102,8 +102,9 @@ let credit t ~port ~vc =
   let o = t.outputs.(Port.index port).(vc) in
   o.credits <- o.credits + 1
 
-let flits_routed t = t.flits_routed
-let busy_cycles t = t.busy_cycles
+let perf t = t.perf
+let flits_routed t = Perf.read t.perf Perf.flits
+let busy_cycles t = Perf.read t.perf Perf.busy
 
 let clamp_cls t cls = if cls >= t.vcs then t.vcs - 1 else if cls < 0 then 0 else cls
 
@@ -161,10 +162,25 @@ let arbitrate t op =
     if not (Array.unsafe_get t.port_used p) then begin
       let ov = Array.unsafe_get t.slot_ov slot in
       let o = t.outputs.(op_i).(ov) in
+      (* A candidate that only the dry credit counter holds back is a
+         credit stall — the per-cycle backpressure count the perf block
+         exposes. The check order preserves admissibility exactly. *)
       let admissible =
         match t.alloc.(p).(v) with
-        | Some _ -> o.credits > 0
-        | None -> o.owner = None && o.credits > 0 && o.dest <> None
+        | Some _ ->
+          if o.credits > 0 then true
+          else begin
+            Perf.incr t.perf Perf.credit_stalls;
+            false
+          end
+        | None ->
+          if o.owner = None && o.dest <> None then
+            if o.credits > 0 then true
+            else begin
+              Perf.incr t.perf Perf.credit_stalls;
+              false
+            end
+          else false
       in
       if admissible then begin
         (* Priority key: class when QoS is on, then rotating order.
@@ -227,7 +243,7 @@ let route_one t op =
     end;
     t.port_used.(p) <- true;
     t.rr.(op_i) <- ((p * t.vcs) + v + 1) mod (Port.count * t.vcs);
-    t.flits_routed <- t.flits_routed + 1;
+    Perf.incr t.perf Perf.flits;
     true
   end
 
@@ -236,13 +252,18 @@ let tick t =
      so arbitration over every output port would come up empty. *)
   if !(t.in_occ) = 0 then Sim.Idle
   else begin
+    (* Occupancy watermark: sampled only on executed cycles, but the
+       fast-forward contract guarantees occupancy is 0 throughout any
+       skipped stretch, so the watermark is identical across engine
+       modes. *)
+    Perf.set_max t.perf Perf.occ_peak !(t.in_occ);
     Array.fill t.port_used 0 Port.count false;
     classify t;
     let moved = ref false in
     for pi = 0 to Port.count - 1 do
       if t.n_cand.(pi) > 0 && route_one t Port.all_arr.(pi) then moved := true
     done;
-    if !moved then t.busy_cycles <- t.busy_cycles + 1;
+    if !moved then Perf.incr t.perf Perf.busy;
     if !(t.in_occ) = 0 then Sim.Idle else Sim.Busy
   end
 
@@ -280,8 +301,7 @@ let create sim ~coord ~vcs ~depth ~routing ~qos =
       slot_ov = Array.make (Port.count * vcs) 0;
       slot_p = Array.init (Port.count * vcs) (fun s -> s / vcs);
       slot_v = Array.init (Port.count * vcs) (fun s -> s mod vcs);
-      flits_routed = 0;
-      busy_cycles = 0;
+      perf = Perf.create ();
     }
   in
   Sim.add_clocked ~name:"noc.router" sim (fun () -> tick t);

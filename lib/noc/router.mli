@@ -90,11 +90,18 @@ val connect_fn :
 val credit : 'a t -> port:Port.t -> vc:int -> unit
 (** Return one credit to output ([port], [vc]). *)
 
+val perf : 'a t -> Apiary_obs.Perf.t
+(** The router's hardware counter block: flits forwarded, busy cycles,
+    credit stalls and the input-occupancy watermark — updated
+    cycle-accurately, never influencing routing, and readable in-band by
+    the stat service. *)
+
 val flits_routed : 'a t -> int
-(** Total flits forwarded since creation (switch activity). *)
+(** Total flits forwarded since creation (switch activity). Equals the
+    [Perf.flits] slot of {!perf}. *)
 
 val busy_cycles : 'a t -> int
-(** Cycles in which at least one flit was forwarded. *)
+(** Cycles in which at least one flit was forwarded ([Perf.busy]). *)
 
 val input_occupancy : 'a t -> int
 (** Flits currently staged or buffered across all input channels (the

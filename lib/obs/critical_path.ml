@@ -1,0 +1,97 @@
+(* Critical-path attribution over recorded span trees.
+
+   A request's journey shows up in the recorder as a corr-keyed family:
+   the monitor's "rpc" interval (the whole call as the caller saw it),
+   one "xfer" interval per NoC transfer (NIC-queue entry to delivery)
+   and one "hop" interval per router traversal inside it. Subtracting
+   inner from outer attributes the latency:
+
+     hop      = sum of router serialization + per-hop queueing
+     queue    = xfer - hop: NIC injection backlog and flit reassembly
+     service  = rpc - xfer: monitor checks, rate stalls and the callee's
+                compute
+
+   The decomposition is exact for single-transfer RPCs and a lower bound
+   on service time when a call fans out into several transfers. *)
+
+module Stats = Apiary_engine.Stats
+
+type breakdown = {
+  board : int;
+  corr : int;
+  total : int;
+  hop : int;
+  queue : int;
+  service : int;
+}
+
+type acc = {
+  mutable a_total : int;
+  mutable a_hop : int;
+  mutable a_xfer : int;
+}
+
+let analyze (events : Span.event list) =
+  let tbl : (int * int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let get board corr =
+    let key = (board, corr) in
+    match Hashtbl.find_opt tbl key with
+    | Some a -> a
+    | None ->
+      let a = { a_total = 0; a_hop = 0; a_xfer = 0 } in
+      Hashtbl.add tbl key a;
+      a
+  in
+  List.iter
+    (fun (e : Span.event) ->
+      if e.Span.corr > 0 && e.Span.dur >= 0 && e.Span.ph = Span.Dur then begin
+        let a = get e.Span.board e.Span.corr in
+        match (e.Span.cat, e.Span.name) with
+        | "monitor", "rpc" -> a.a_total <- max a.a_total e.Span.dur
+        | "noc", "hop" -> a.a_hop <- a.a_hop + e.Span.dur
+        | "noc", "xfer" -> a.a_xfer <- a.a_xfer + e.Span.dur
+        | _ -> ()
+      end)
+    events;
+  Hashtbl.fold
+    (fun (board, corr) a out ->
+      if a.a_total = 0 then out
+      else
+        {
+          board;
+          corr;
+          total = a.a_total;
+          hop = min a.a_hop a.a_total;
+          queue = max 0 (min a.a_xfer a.a_total - a.a_hop);
+          service = max 0 (a.a_total - a.a_xfer);
+        }
+        :: out)
+    tbl []
+  |> List.sort (fun a b -> compare (a.board, a.corr) (b.board, b.corr))
+
+type summary = {
+  n : int;
+  h_total : Stats.Histogram.t;
+  h_hop : Stats.Histogram.t;
+  h_queue : Stats.Histogram.t;
+  h_service : Stats.Histogram.t;
+}
+
+let summarize breakdowns =
+  let s =
+    {
+      n = List.length breakdowns;
+      h_total = Stats.Histogram.create "critpath.total";
+      h_hop = Stats.Histogram.create "critpath.hop";
+      h_queue = Stats.Histogram.create "critpath.queue";
+      h_service = Stats.Histogram.create "critpath.service";
+    }
+  in
+  List.iter
+    (fun b ->
+      Stats.Histogram.record s.h_total b.total;
+      Stats.Histogram.record s.h_hop b.hop;
+      Stats.Histogram.record s.h_queue b.queue;
+      Stats.Histogram.record s.h_service b.service)
+    breakdowns;
+  s

@@ -1,0 +1,35 @@
+(** Critical-path attribution over {!Span} trees: splits each corr-keyed
+    request's end-to-end latency into router-hop time, queue wait and
+    service time, for p50/p99 breakdowns in [bench --obs].
+
+    Uses the span vocabulary the instrumented components emit: the
+    monitor's ["rpc"] interval is the total, NoC ["xfer"] intervals cover
+    transfer time, and ["hop"] intervals (children of a transfer) cover
+    router serialization — so [queue = xfer - hop] is injection backlog
+    and [service = rpc - xfer] is monitor checking plus callee compute. *)
+
+module Stats := Apiary_engine.Stats
+
+type breakdown = {
+  board : int;
+  corr : int;
+  total : int;  (** the "rpc" span duration, cycles *)
+  hop : int;  (** sum of router-hop durations *)
+  queue : int;  (** transfer time not inside a hop (injection backlog) *)
+  service : int;  (** rpc time not inside a transfer (checks + compute) *)
+}
+
+val analyze : Span.event list -> breakdown list
+(** One breakdown per [(board, corr)] family that recorded a closed
+    ["rpc"] span, sorted by board then corr. Open spans ([dur < 0]) and
+    uncorrelated events are ignored. *)
+
+type summary = {
+  n : int;
+  h_total : Stats.Histogram.t;
+  h_hop : Stats.Histogram.t;
+  h_queue : Stats.Histogram.t;
+  h_service : Stats.Histogram.t;
+}
+
+val summarize : breakdown list -> summary

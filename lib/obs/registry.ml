@@ -83,7 +83,39 @@ let reset () =
           | Histogram h -> Stats.Histogram.reset h)
         instruments)
 
+(* ------------------------------------------------------------------ *)
+(* Built-in samplers.
+
+   [obs.span.*] makes trace truncation detectable from the metrics dump
+   alone: a nonzero [obs.span.dropped] means the Chrome-trace export is
+   missing events. [prof.*] folds the APIARY_PROF per-ticker wall-time
+   rows into the same pipeline, so --perf and --obs share one metrics
+   surface; with APIARY_PROF unset the sampler publishes nothing, which
+   keeps obs metric dumps byte-stable. Built-ins are re-installed by
+   {!clear}, so they survive between unrelated runs like the registry
+   itself does. *)
+
+module Profile = Apiary_engine.Profile
+
+let install_builtins () =
+  add_sampler ~name:"obs.span" (fun () ->
+      Stats.Gauge.set (gauge "obs.span.events") (float_of_int (Span.count ()));
+      Stats.Gauge.set (gauge "obs.span.dropped")
+        (float_of_int (Span.dropped ())));
+  add_sampler ~name:"obs.prof" (fun () ->
+      if Profile.enabled () then
+        List.iter
+          (fun (name, calls, seconds) ->
+            Stats.Gauge.set
+              (gauge (Printf.sprintf "prof.%s.calls" name))
+              (float_of_int calls);
+            Stats.Gauge.set (gauge (Printf.sprintf "prof.%s.seconds" name)) seconds)
+          (Profile.snapshot ()))
+
 let clear () =
   with_lock (fun () ->
       Hashtbl.reset instruments;
-      Hashtbl.reset samplers)
+      Hashtbl.reset samplers);
+  install_builtins ()
+
+let () = install_builtins ()

@@ -16,7 +16,16 @@
       between runs never duplicates.
 
     A snapshot is an alphabetical association list, so rendering it (see
-    {!Export.metrics_json}) is deterministic. *)
+    {!Export.metrics_json}) is deterministic.
+
+    Two {b built-in samplers} are always installed (and re-installed by
+    {!clear}): [obs.span] publishes the span recorder's retained/dropped
+    event counts as [obs.span.events] / [obs.span.dropped] gauges, so a
+    truncated trace is detectable from the metrics dump alone; [obs.prof]
+    publishes the [APIARY_PROF] per-ticker wall-time rows as
+    [prof.<ticker>.calls] / [prof.<ticker>.seconds] gauges (nothing when
+    profiling is off), so [--perf] and [--obs] share one metrics
+    pipeline. *)
 
 module Stats := Apiary_engine.Stats
 
@@ -51,4 +60,5 @@ val reset : unit -> unit
     samplers are kept). *)
 
 val clear : unit -> unit
-(** Drop all instruments and samplers — between unrelated runs. *)
+(** Drop all instruments and samplers — between unrelated runs. The
+    built-in [obs.span] and [obs.prof] samplers are re-installed. *)
