@@ -156,7 +156,17 @@ let timed id f () =
 let write_perf_json path =
   let oc = open_out path in
   let records = List.rev !perf_records in
-  output_string oc "{\n  \"experiments\": [\n";
+  (* Honest machine context for the run: how many cores the host
+     actually offers (speedup claims are meaningless without it) and
+     which parallel engine, if any, was selected. perf_guard keys on
+     per-experiment "id" lines and skips these. *)
+  Printf.fprintf oc "{\n  \"domains_used\": %d,\n  \"par_mode\": \"%s\",\n"
+    (Domain.recommended_domain_count ())
+    (match par_mode () with
+    | `Boards -> "boards"
+    | `Mesh -> "mesh"
+    | `Off -> "off");
+  output_string oc "  \"experiments\": [\n";
   List.iteri
     (fun i r ->
       Printf.fprintf oc

@@ -36,8 +36,8 @@ let with_rack ~boards ~clients ~duration body =
   match (if !obs_enabled then `Off else par_mode ()) with
   | `Boards ->
     let eng =
-      Par_sim.create ~mode:Par_sim.Par ~lookahead:Cluster.lookahead
-        ~n:(boards + 1) ()
+      Par_sim.create ~mode:Par_sim.Par ~adaptive:true
+        ~lookahead:Cluster.lookahead ~n:(boards + 1) ()
     in
     let sim = Par_sim.sim eng 0 in
     let cluster =
@@ -68,10 +68,6 @@ let kv_gen value_bytes n =
     else Kv.Proto.Get key
   in
   (key, Kv.Proto.encode_req req)
-
-let mk_rack sim ~boards ~clients =
-  let cluster = Cluster.create sim ~boards ~client_ports:(clients + 1) in
-  cluster
 
 (* ------------------------------------------------------------------ *)
 (* E12a — sharded KV: aggregate throughput and latency vs board count.
@@ -110,34 +106,36 @@ let e12a_run ~boards ~duration =
    replica (resolves Local) and from one that doesn't (resolves Remote,
    via netsvc + ToR). Companion to E11's fabric-vs-network gap. *)
 
+(* Board-shell-driven connect/call — the workload the replicated
+   directory unlocked for partitioned runs: each caller resolves from
+   its own board's replica, so under APIARY_PAR=boards the two callers
+   live on different domains. *)
 let e12b_run ~duration =
-  let sim = Sim.create () in
-  let cluster = mk_rack sim ~boards:2 ~clients:0 in
-  ignore
-    (Cluster.install cluster ~board:0 ~service:"ctl"
-       (Accels.echo ~service:"ctl" ~cost:4 ()));
-  let caller board h =
-    Shell.behavior "caller" ~on_boot:(fun sh ->
-        Sim.after (Shell.sim sh) 3_000 (fun () ->
-            Cluster.connect cluster ~board sh ~service:"ctl" (fun r ->
-                match r with
-                | Error _ -> ()
-                | Ok target ->
-                  let rec go () =
-                    let t0 = Shell.now sh in
-                    Cluster.call cluster ~board sh target ~op:Accels.op_echo
-                      (bytes_of 32) (fun _ ->
-                        Stats.Histogram.record h (Shell.now sh - t0);
-                        go ())
-                  in
-                  go ())))
-  in
-  let local_h = Stats.Histogram.create "local" in
-  let remote_h = Stats.Histogram.create "remote" in
-  ignore (Cluster.install cluster ~board:0 (caller 0 local_h));
-  ignore (Cluster.install cluster ~board:1 (caller 1 remote_h));
-  Sim.run_for sim duration;
-  (p50 local_h, p50 remote_h)
+  with_rack ~boards:2 ~clients:0 ~duration (fun _sim cluster ->
+      ignore
+        (Cluster.install cluster ~board:0 ~service:"ctl"
+           (Accels.echo ~service:"ctl" ~cost:4 ()));
+      let caller board h =
+        Shell.behavior "caller" ~on_boot:(fun sh ->
+            Sim.after (Shell.sim sh) 3_000 (fun () ->
+                Cluster.connect cluster ~board sh ~service:"ctl" (fun r ->
+                    match r with
+                    | Error _ -> ()
+                    | Ok target ->
+                      let rec go () =
+                        let t0 = Shell.now sh in
+                        Cluster.call cluster ~board sh target ~op:Accels.op_echo
+                          (bytes_of 32) (fun _ ->
+                            Stats.Histogram.record h (Shell.now sh - t0);
+                            go ())
+                      in
+                      go ())))
+      in
+      let local_h = Stats.Histogram.create "local" in
+      let remote_h = Stats.Histogram.create "remote" in
+      ignore (Cluster.install cluster ~board:0 (caller 0 local_h));
+      ignore (Cluster.install cluster ~board:1 (caller 1 remote_h));
+      fun () -> (p50 local_h, p50 remote_h))
 
 (* ------------------------------------------------------------------ *)
 (* E12c — stateless scale-out: one video encoder per board behind

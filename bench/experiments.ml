@@ -438,7 +438,13 @@ let e3 () =
     let cfg = { Mesh.default_config with Mesh.cols = n; rows = n } in
     match par_mode () with
     | `Mesh when n >= 2 ->
-      let eng = Par_sim.create ~mode:Par_sim.Par ~lookahead:1 ~n:(min 4 n) () in
+      (* Column stripes only ever talk to adjacent stripes, so the mesh
+         engine synchronizes neighbor-to-neighbor instead of through a
+         global barrier. *)
+      let eng =
+        Par_sim.create ~mode:Par_sim.Par ~sync:Par_sim.Neighbor ~lookahead:1
+          ~n:(min 4 n) ()
+      in
       let mesh : int Mesh.t = Mesh.create ~engine:eng (Par_sim.sim eng 0) cfg in
       let gens =
         List.init (Mesh.stripes mesh) (fun s ->

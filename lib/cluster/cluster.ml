@@ -40,9 +40,15 @@ let create ?kernel_cfg ?(client_ports = 8) ?(switch_latency = 250)
      failure injection); member [id+1] owns board [id]'s entire fabric.
      The only cross-partition traffic is frames on the board uplinks,
      which the split links stage through Par_sim.post. *)
-  let sim, board_sim, mk_uplink =
+  (* The directory announces registry mutations with one uplink of
+     latency in both modes, so a partitioned rack (replica per
+     partition, announcements staged like uplink frames) is
+     byte-identical to a monolithic one. *)
+  let sim, board_sim, mk_uplink, directory =
     match engine with
-    | None -> (sim, (fun _ -> sim), fun _ -> None)
+    | None ->
+      (sim, (fun _ -> sim), (fun _ -> None),
+       Directory.create ~announce_delay:lookahead sim)
     | Some eng ->
       if Par_sim.n_domains eng <> boards + 1 then
         invalid_arg "Cluster.create: engine must have boards+1 domains";
@@ -51,7 +57,7 @@ let create ?kernel_cfg ?(client_ports = 8) ?(switch_latency = 250)
       let csim = Par_sim.sim eng 0 in
       ( csim,
         (fun id -> Par_sim.sim eng (id + 1)),
-        fun id ->
+        (fun id ->
           Some
             (Link.create_split ~sim_a:(Par_sim.sim eng (id + 1)) ~sim_b:csim
                ~post_to_a:(fun ~time fn ->
@@ -59,7 +65,12 @@ let create ?kernel_cfg ?(client_ports = 8) ?(switch_latency = 250)
                ~post_to_b:(fun ~time fn ->
                  Par_sim.post eng ~src:(id + 1) ~dst:0 ~time fn)
                ~bytes_per_cycle:uplink_bytes_per_cycle
-               ~prop_cycles:uplink_prop_cycles) )
+               ~prop_cycles:uplink_prop_cycles)),
+        Directory.create_replicated ~announce_delay:lookahead
+          ~sims:(Array.init (boards + 1) (Par_sim.sim eng))
+          ~home:(fun b -> b + 1)
+          ~post:(fun ~src ~dst ~time fn -> Par_sim.post eng ~src ~dst ~time fn)
+          () )
   in
   let switch =
     Switch.create ?fdb_capacity sim ~nports:(boards + client_ports)
@@ -73,7 +84,7 @@ let create ?kernel_cfg ?(client_ports = 8) ?(switch_latency = 250)
   {
     sim;
     switch;
-    directory = Directory.create ();
+    directory;
     nodes;
     exported = Hashtbl.create 8;
     next_client_port = boards;
@@ -134,7 +145,7 @@ let on_board_down t f = t.on_down <- t.on_down @ [ f ]
    balancers stop aiming at the corpse before their own request
    timeouts would have told them. *)
 let report_down t ~board =
-  Directory.report_failure t.directory ~board;
+  Directory.report_failure t.directory ~board ();
   List.iter (fun f -> f board) t.on_down
 
 (* Recovery is announced: the board re-registers its services with the
@@ -254,7 +265,8 @@ let call t ~board sh target ~op body k =
           obs_mark sh ~args:[ ("service", r.service) ] "invalidate";
           (match e with
           | Shell.Timeout ->
-            Directory.report_failure t.directory ~board:r.board;
+            Directory.report_failure t.directory ~from_board:board
+              ~board:r.board ();
             obs_mark sh
               ~args:[ ("board", string_of_int r.board) ]
               "failover"

@@ -48,12 +48,14 @@ val create :
     ignored in that case. Run the rack through {!Apiary_engine.Par_sim}
     — results are byte-identical between its [Seq] and [Par] modes.
 
-    Partitioned-rack restriction: the {!directory} (like all rack-shared
-    state) belongs to member 0, so {!connect}/{!resolve} must only be
-    driven from member-0 code — external clients, not board shells —
-    while a partitioned run is in flight. Client-driven workloads (the
-    sharded store, the load balancer, the failover drill) satisfy this;
-    board-to-board invocation microbenchmarks should run unpartitioned. *)
+    The {!directory} is replicated per partition (a replica on member 0
+    for the controller and clients, one on member [id + 1] for board
+    [id]), with registry mutations announced through the same
+    boundary-merge protocol as uplink frames — so {!connect}/{!call}
+    work from board shells and external clients alike, partitioned or
+    not, with byte-identical results. Directory mutations take one
+    uplink ({!lookahead} cycles) to become visible in {e every} mode,
+    monolithic included. *)
 
 val sim : t -> Sim.t
 val switch : t -> Switch.t

@@ -1,95 +1,312 @@
 (* Federated name server: rack-wide service -> replica registry with
    per-(board, service) route caches.
 
-   Models the paper's remote control plane (§6-Q3): registration and
-   resolution are rack-controller state, deterministic and instantaneous
-   in the simulation — the expensive part (actually reaching the chosen
-   replica) goes over the simulated network. Failure detection is
-   caller-driven: a failed remote call invalidates the cached route and
-   reports the replica's board; the directory never observes failures on
-   its own. *)
+   Models the paper's remote control plane (§6-Q3). The directory is
+   replicated one copy per engine partition: replica 0 is the rack
+   controller's view, replica [p] lives on partition [p]'s simulator and
+   serves that partition's boards. Registry mutations (register,
+   unregister, failure reports) are *announcements* tagged
+   [(apply_time, source partition, per-source seq)]; every replica —
+   including the announcer's own — applies them in that canonical order
+   once [apply_time] has passed, so all replicas evolve through the same
+   registry states and a monolithic run is byte-identical to a
+   partitioned one. Cross-partition delivery rides the engine's
+   boundary-merge protocol (Par_sim.post); [announce_delay] is the wire
+   latency and must be at least the engine lookahead.
+
+   Route caches (the per-(from_board, service) resolution decisions) are
+   replica-local and written only by the owning partition — the write
+   paths assert this against {!Par_sim.current_partition} in debug
+   builds. Failure detection is caller-driven: a failed remote call
+   invalidates the cached route and reports the replica's board; the
+   directory never observes failures on its own. *)
+
+module Sim = Apiary_engine.Sim
+module Par_sim = Apiary_engine.Par_sim
 
 type replica = { board : int; mac : int }
 type resolution = Local | Remote of replica
 
-type t = {
+type update =
+  | U_register of { service : string; board : int; mac : int }
+  | U_unregister of { board : int }
+
+type ann = { a_time : int; a_src : int; a_seq : int; u : update }
+
+let cmp_ann a b =
+  let c = compare a.a_time b.a_time in
+  if c <> 0 then c
+  else
+    let c = compare a.a_src b.a_src in
+    if c <> 0 then c else compare a.a_seq b.a_seq
+
+(* One resolution slot per (from_board, service), int-keyed. [dec] is
+   the decided resolution, valid while [epoch] matches the replica's
+   registry epoch; [picked] is the sticky remote pick that survives
+   registry changes until invalidated or its board unregisters — the
+   cache the old hash-of-tuples table provided, now a single int-keyed
+   lookup plus an int compare on the hot path. *)
+type route = {
+  mutable dec : resolution option;
+  mutable epoch : int;  (* -1 forces recomputation *)
+  mutable picked : replica option;
+  mutable rot : int;  (* per-slot rotation for fresh remote picks *)
+}
+
+type rep = {
+  part : int;  (* owning engine partition *)
+  rsim : Sim.t;
   registry : (string, replica list) Hashtbl.t;  (* registration order *)
-  cache : (int * string, replica) Hashtbl.t;  (* (from_board, service) *)
-  rotation : (string, int) Hashtbl.t;  (* next-remote pick per service *)
+  sids : (string, int) Hashtbl.t;  (* replica-local service interning *)
+  mutable next_sid : int;
+  routes : (int, route) Hashtbl.t;  (* (from_board lsl 16) lor sid *)
+  mutable reg_epoch : int;
+  mutable inbox : ann list;  (* announcements not yet applied *)
   mutable lookups : int;
   mutable cache_hits : int;
   mutable invalidations : int;
 }
 
-let create () =
+type t = {
+  reps : rep array;  (* length 1 = monolithic *)
+  home : int -> int;  (* board -> replica index *)
+  delay : int;
+  post : (src:int -> dst:int -> time:int -> (unit -> unit) -> unit) option;
+  ann_seq : int array;  (* per source partition *)
+}
+
+(* Replica state may only be written by its owning partition's
+   execution (or by coordinator code between windows, which holds every
+   partition quiescent). Compiled out in release builds. *)
+let owner_check rep =
+  assert (
+    match Par_sim.current_partition () with
+    | None -> true
+    | Some p -> p = rep.part)
+
+let mk_rep part rsim =
   {
+    part;
+    rsim;
     registry = Hashtbl.create 16;
-    cache = Hashtbl.create 32;
-    rotation = Hashtbl.create 16;
+    sids = Hashtbl.create 16;
+    next_sid = 0;
+    routes = Hashtbl.create 32;
+    reg_epoch = 0;
+    inbox = [];
     lookups = 0;
     cache_hits = 0;
     invalidations = 0;
   }
 
-let replicas t service =
-  Option.value ~default:[] (Hashtbl.find_opt t.registry service)
+let create ?(announce_delay = 0) sim =
+  if announce_delay < 0 then
+    invalid_arg "Directory.create: announce_delay must be >= 0";
+  {
+    reps = [| mk_rep 0 sim |];
+    home = (fun _ -> 0);
+    delay = announce_delay;
+    post = None;
+    ann_seq = [| 0 |];
+  }
 
-let services t =
-  Hashtbl.fold (fun s _ acc -> s :: acc) t.registry [] |> List.sort compare
+let create_replicated ~announce_delay ~sims ~home ~post () =
+  if announce_delay < 1 then
+    invalid_arg "Directory.create_replicated: announce_delay must be >= 1";
+  if Array.length sims < 1 then
+    invalid_arg "Directory.create_replicated: need at least one replica";
+  {
+    reps = Array.mapi mk_rep sims;
+    home;
+    delay = announce_delay;
+    post = Some post;
+    ann_seq = Array.make (Array.length sims) 0;
+  }
+
+let rep_for t from_board =
+  if Array.length t.reps = 1 then t.reps.(0) else t.reps.(t.home from_board)
+
+(* ------------------------------------------------------------------ *)
+(* Announcement protocol *)
+
+let registered rep service =
+  Option.value ~default:[] (Hashtbl.find_opt rep.registry service)
+
+let apply rep = function
+  | U_register { service; board; mac } ->
+    let rs = registered rep service in
+    if not (List.exists (fun r -> r.board = board) rs) then
+      Hashtbl.replace rep.registry service (rs @ [ { board; mac } ]);
+    rep.reg_epoch <- rep.reg_epoch + 1
+  | U_unregister { board } ->
+    let keys = Hashtbl.fold (fun s _ acc -> s :: acc) rep.registry [] in
+    List.iter
+      (fun s ->
+        let rs = List.filter (fun r -> r.board <> board) (registered rep s) in
+        if rs = [] then Hashtbl.remove rep.registry s
+        else Hashtbl.replace rep.registry s rs)
+      keys;
+    (* Prune sticky routes to the dead board — the replicated equivalent
+       of dropping its cached routes, counted identically. *)
+    Hashtbl.iter
+      (fun _ slot ->
+        match slot.picked with
+        | Some r when r.board = board ->
+          slot.picked <- None;
+          rep.invalidations <- rep.invalidations + 1
+        | _ -> ())
+      rep.routes;
+    rep.reg_epoch <- rep.reg_epoch + 1
+
+(* An announcement made at cycle [c] becomes visible to reads strictly
+   after [c + delay] — one delay for the wire, visible the next cycle —
+   in every replica and every engine mode alike. A zero-delay
+   (standalone, monolithic) directory is synchronous: visible at [c]. *)
+let visible t a now = a.a_time < now || (t.delay = 0 && a.a_time = now)
+
+let drain t rep =
+  match rep.inbox with
+  | [] -> ()
+  | _ -> (
+    let now = Sim.now rep.rsim in
+    let ready, later = List.partition (fun a -> visible t a now) rep.inbox in
+    match ready with
+    | [] -> ()
+    | ready ->
+      owner_check rep;
+      rep.inbox <- later;
+      (* Apply in canonical (time, src, seq) order: the replica's state
+         sequence is then independent of delivery interleaving. *)
+      List.iter (fun a -> apply rep a.u) (List.sort cmp_ann ready))
+
+let announce t ~src u =
+  let rep_src = t.reps.(src) in
+  owner_check rep_src;
+  let now = Sim.now rep_src.rsim in
+  let seq = t.ann_seq.(src) in
+  t.ann_seq.(src) <- seq + 1;
+  let a = { a_time = now + t.delay; a_src = src; a_seq = seq; u } in
+  Array.iteri
+    (fun d rep ->
+      if d = src then rep.inbox <- a :: rep.inbox
+      else
+        match t.post with
+        | Some post ->
+          post ~src ~dst:d ~time:a.a_time (fun () -> rep.inbox <- a :: rep.inbox)
+        | None -> assert false)
+    t.reps
+
+(* ------------------------------------------------------------------ *)
+(* Public mutations *)
 
 let register t ~service ~board ~mac =
-  let rs = replicas t service in
-  if not (List.exists (fun r -> r.board = board) rs) then
-    Hashtbl.replace t.registry service (rs @ [ { board; mac } ])
+  announce t ~src:0 (U_register { service; board; mac })
 
-let drop_cached_routes_to t board =
-  let stale =
-    Hashtbl.fold
-      (fun k r acc -> if r.board = board then k :: acc else acc)
-      t.cache []
+let unregister_board t board = announce t ~src:0 (U_unregister { board })
+
+let report_failure t ?from_board ~board () =
+  let src =
+    match from_board with
+    | None -> 0
+    | Some b -> if Array.length t.reps = 1 then 0 else t.home b
   in
-  List.iter (Hashtbl.remove t.cache) stale;
-  t.invalidations <- t.invalidations + List.length stale
+  announce t ~src (U_unregister { board })
 
-let unregister_board t board =
-  let keys = Hashtbl.fold (fun s _ acc -> s :: acc) t.registry [] in
-  List.iter
-    (fun s ->
-      let rs = List.filter (fun r -> r.board <> board) (replicas t s) in
-      if rs = [] then Hashtbl.remove t.registry s
-      else Hashtbl.replace t.registry s rs)
-    keys;
-  drop_cached_routes_to t board
+(* ------------------------------------------------------------------ *)
+(* Resolution *)
 
-let report_failure t ~board = unregister_board t board
+let intern rep service =
+  match Hashtbl.find_opt rep.sids service with
+  | Some sid -> sid
+  | None ->
+    let sid = rep.next_sid in
+    assert (sid < 0x10000);
+    rep.next_sid <- sid + 1;
+    Hashtbl.add rep.sids service sid;
+    sid
 
-let invalidate t ~from_board ~service =
-  if Hashtbl.mem t.cache (from_board, service) then begin
-    Hashtbl.remove t.cache (from_board, service);
-    t.invalidations <- t.invalidations + 1
-  end
+let slot_for rep ~from_board ~service =
+  let key = (from_board lsl 16) lor intern rep service in
+  match Hashtbl.find_opt rep.routes key with
+  | Some slot -> slot
+  | None ->
+    let slot = { dec = None; epoch = -1; picked = None; rot = 0 } in
+    Hashtbl.add rep.routes key slot;
+    slot
 
 let resolve t ~from_board ~service =
-  t.lookups <- t.lookups + 1;
-  let rs = replicas t service in
-  if List.exists (fun r -> r.board = from_board) rs then Some Local
-  else
-    match Hashtbl.find_opt t.cache (from_board, service) with
-    | Some r when List.exists (fun x -> x.board = r.board) rs ->
-      t.cache_hits <- t.cache_hits + 1;
-      Some (Remote r)
-    | _ -> (
-      match rs with
-      | [] -> None
-      | rs ->
-        (* Spread first-time resolutions across remote replicas, then
-           stick to the cached route until it is invalidated. *)
-        let k = Option.value ~default:0 (Hashtbl.find_opt t.rotation service) in
-        let r = List.nth rs (k mod List.length rs) in
-        Hashtbl.replace t.rotation service (k + 1);
-        Hashtbl.replace t.cache (from_board, service) r;
-        Some (Remote r))
+  let rep = rep_for t from_board in
+  owner_check rep;
+  drain t rep;
+  rep.lookups <- rep.lookups + 1;
+  let slot = slot_for rep ~from_board ~service in
+  if slot.epoch = rep.reg_epoch then begin
+    (match slot.dec with
+    | Some (Remote _) -> rep.cache_hits <- rep.cache_hits + 1
+    | _ -> ());
+    slot.dec
+  end
+  else begin
+    let rs = registered rep service in
+    let dec =
+      if List.exists (fun r -> r.board = from_board) rs then Some Local
+      else
+        match slot.picked with
+        | Some r when List.exists (fun x -> x.board = r.board) rs ->
+          rep.cache_hits <- rep.cache_hits + 1;
+          Some (Remote r)
+        | _ -> (
+          match rs with
+          | [] ->
+            slot.picked <- None;
+            None
+          | rs ->
+            (* Spread first-time resolutions across remote replicas —
+               offset by the asking board so different boards start on
+               different picks — then stick to the choice until it is
+               invalidated. *)
+            let r = List.nth rs ((from_board + slot.rot) mod List.length rs) in
+            slot.rot <- slot.rot + 1;
+            slot.picked <- Some r;
+            Some (Remote r))
+    in
+    slot.dec <- dec;
+    slot.epoch <- rep.reg_epoch;
+    dec
+  end
 
-let lookups t = t.lookups
-let cache_hits t = t.cache_hits
-let invalidations t = t.invalidations
+let invalidate t ~from_board ~service =
+  let rep = rep_for t from_board in
+  owner_check rep;
+  drain t rep;
+  match Hashtbl.find_opt rep.sids service with
+  | None -> ()
+  | Some sid -> (
+    match Hashtbl.find_opt rep.routes ((from_board lsl 16) lor sid) with
+    | None -> ()
+    | Some slot ->
+      if slot.picked <> None then begin
+        slot.picked <- None;
+        rep.invalidations <- rep.invalidations + 1
+      end;
+      slot.epoch <- -1)
+
+(* ------------------------------------------------------------------ *)
+(* Controller-view accessors (replica 0) *)
+
+let replicas t service =
+  let rep = t.reps.(0) in
+  drain t rep;
+  registered rep service
+
+let services t =
+  let rep = t.reps.(0) in
+  drain t rep;
+  Hashtbl.fold (fun s _ acc -> s :: acc) rep.registry [] |> List.sort compare
+
+(* Counters are summed across replicas; per-replica slices partition the
+   monolithic totals, so the sums are engine-mode-independent. *)
+let sum_reps t f = Array.fold_left (fun acc rep -> acc + f rep) 0 t.reps
+let lookups t = sum_reps t (fun r -> r.lookups)
+let cache_hits t = sum_reps t (fun r -> r.cache_hits)
+let invalidations t = sum_reps t (fun r -> r.invalidations)

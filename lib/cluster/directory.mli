@@ -7,10 +7,28 @@
     otherwise — the paper's location transparency ("calls to other
     modules may be local or remote", §1) across the ToR switch.
 
-    Resolution results are cached per [(from_board, service)]; a failed
-    remote call must {!invalidate} its route (and {!report_failure} the
-    board if it timed out). The directory itself never detects failures —
-    it is deterministic rack-controller state. *)
+    {2 Replication}
+
+    The directory is replicated one copy per engine partition:
+    replica 0 serves the rack controller, replica [home board] serves
+    that board's partition. Registry mutations are {e announcements}
+    tagged [(apply_time, source partition, per-source sequence)] and
+    applied at {e every} replica — including the announcer's own — in
+    that canonical order once [apply_time] is reached, so all replicas
+    step through the same registry states and partitioned runs are
+    byte-identical to monolithic ones. A mutation announced at cycle
+    [c] becomes visible to reads strictly after [c + announce_delay]
+    (synchronously at [c] when [announce_delay = 0], the standalone
+    default). Cross-partition delivery uses the posting hook supplied
+    to {!create_replicated} — in a {!Cluster} rack, the parallel
+    engine's boundary-merge protocol.
+
+    Resolution results are cached per [(from_board, service)] in the
+    asking board's replica; a failed remote call must {!invalidate} its
+    route (and {!report_failure} the board if it timed out). The
+    directory itself never detects failures — it is deterministic
+    rack-controller state. Replica caches are single-writer (the owning
+    partition); debug builds assert this on every write path. *)
 
 type replica = { board : int; mac : int }
 
@@ -20,31 +38,57 @@ type resolution =
 
 type t
 
-val create : unit -> t
+val create : ?announce_delay:int -> Apiary_engine.Sim.t -> t
+(** Single-replica directory on [sim]'s clock. [announce_delay]
+    (default 0) cycles pass between a mutation and its visibility to
+    reads; 0 means synchronous. *)
+
+val create_replicated :
+  announce_delay:int ->
+  sims:Apiary_engine.Sim.t array ->
+  home:(int -> int) ->
+  post:(src:int -> dst:int -> time:int -> (unit -> unit) -> unit) ->
+  unit ->
+  t
+(** One replica per element of [sims] (replica [p] lives on partition
+    [p]'s simulator). [home board] is the replica index serving that
+    board. [post] delivers a foreign replica's inbox append at the
+    announcement's apply time; [announce_delay] must be at least the
+    engine lookahead so those posts are legal, and at least 1. *)
 
 val register : t -> service:string -> board:int -> mac:int -> unit
-(** Idempotent per (service, board). *)
+(** Idempotent per (service, board). Announced from the controller
+    (replica 0). *)
 
 val unregister_board : t -> int -> unit
 (** Remove every service exported by a board (and any cached routes to
-    it) — deliberate decommission or confirmed failure. *)
+    it) — deliberate decommission or confirmed failure. Announced from
+    the controller. *)
 
-val report_failure : t -> board:int -> unit
+val report_failure : t -> ?from_board:int -> board:int -> unit -> unit
 (** Caller-observed failure (e.g. remote-call timeout): same effect as
-    {!unregister_board}. The board re-registers when it recovers. *)
+    {!unregister_board}, announced from the reporting board's own
+    partition ([from_board] defaults to the controller). *)
 
 val resolve : t -> from_board:int -> service:string -> resolution option
 (** [None] when no live replica exports the service. Remote picks are
     rotated across replicas on first resolution, then cached until
-    invalidated. *)
+    invalidated. Served entirely from [from_board]'s replica. *)
 
 val invalidate : t -> from_board:int -> service:string -> unit
 (** Drop one cached route (stale-route handling after a failed call). *)
 
 val replicas : t -> string -> replica list
-val services : t -> string list
+(** Live replicas of a service, in registration order — the
+    controller's (replica 0's) view. *)
 
-(** {2 Counters} *)
+val services : t -> string list
+(** Registered service names, sorted — the controller's view. *)
+
+(** {2 Counters}
+
+    Summed across replicas; the per-replica slices partition the
+    monolithic totals, so the sums are engine-mode-independent. *)
 
 val lookups : t -> int
 val cache_hits : t -> int

@@ -59,7 +59,7 @@ let drop_board t board =
   Shard.Rr.remove t.rr board;
   (* Tell the rack controller too, so in-fabric resolution also stops
      routing to the dead board (it re-registers on recovery). *)
-  Directory.report_failure (Cluster.directory t.cluster) ~board
+  Directory.report_failure (Cluster.directory t.cluster) ~board ()
 
 let readmit_board t board =
   Shard.add t.ring board;

@@ -1,93 +1,11 @@
 type mode = Seq | Par
+type sync = Barrier | Neighbor
 
 (* A staged cross-partition event. [seq] is per-source and assigned at
-   post time, so the barrier merge order — (time, src, seq) — depends
-   only on each member's own deterministic execution. *)
-type post_rec = { p_time : int; p_src : int; p_seq : int; p_dst : int;
-                  p_fn : unit -> unit }
-
-(* Worker handshake (Par mode). Workers park in [wait] until the
-   coordinator opens a window by bumping [epoch]; each runs its member
-   to [target] and bumps [n_done]. All fields are accessed under
-   [lock]. *)
-type shared = {
-  lock : Mutex.t;
-  cond : Condition.t;
-  mutable epoch : int;
-  mutable target : int;
-  mutable n_done : int;
-  mutable quit : bool;
-  mutable failure : exn option;
-}
-
-type t = {
-  mode : mode;
-  lookahead : int;
-  sims : Sim.t array;
-  (* Single-producer out-queues: member i appends to out.(i) during its
-     window; only the coordinator reads them, at the barrier. *)
-  out : post_rec list ref array;
-  out_seq : int array;
-  mutable clock : int;
-  mutable window_end : int;  (* first cycle members may NOT reach posts into *)
-  sh : shared;
-  mutable workers : unit Domain.t array;
-  mutable stall_s : float;
-}
-
-(* Microseconds of barrier stall across every instance in the process. *)
-let global_stall_us = Atomic.make 0
-let total_barrier_stall_s () = float_of_int (Atomic.get global_stall_us) *. 1e-6
-
-let create ?(mode = Seq) ~lookahead ~n () =
-  if lookahead < 1 then invalid_arg "Par_sim.create: lookahead must be >= 1";
-  if n < 1 then invalid_arg "Par_sim.create: n must be >= 1";
-  let sims = Array.init n (fun _ -> Sim.create ()) in
-  (* Member 0 is the counted sim; the others would multiply-report the
-     same simulated interval. *)
-  for i = 1 to n - 1 do
-    Sim.set_counted sims.(i) false
-  done;
-  {
-    mode;
-    lookahead;
-    sims;
-    out = Array.init n (fun _ -> ref []);
-    out_seq = Array.make n 0;
-    clock = 0;
-    window_end = 0;
-    sh =
-      {
-        lock = Mutex.create ();
-        cond = Condition.create ();
-        epoch = 0;
-        target = 0;
-        n_done = 0;
-        quit = false;
-        failure = None;
-      };
-    workers = [||];
-    stall_s = 0.0;
-  }
-
-let mode t = t.mode
-let n_domains t = Array.length t.sims
-let lookahead t = t.lookahead
-let sim t i = t.sims.(i)
-let now t = t.clock
-let barrier_stall_s t = t.stall_s
-
-let post t ~src ~dst ~time fn =
-  if time < t.window_end then
-    invalid_arg
-      (Printf.sprintf
-         "Par_sim.post: time %d inside the open window (end %d) — lookahead \
-          violation from partition %d"
-         time t.window_end src);
-  let seq = t.out_seq.(src) in
-  t.out_seq.(src) <- seq + 1;
-  let q = t.out.(src) in
-  q := { p_time = time; p_src = src; p_seq = seq; p_dst = dst; p_fn = fn } :: !q
+   post time, so the canonical delivery order — (time, src, seq) —
+   depends only on each member's own deterministic execution, never on
+   how windows were scheduled or how domains interleaved. *)
+type post_rec = { p_time : int; p_src : int; p_seq : int; p_fn : unit -> unit }
 
 let cmp_post a b =
   let c = compare a.p_time b.p_time in
@@ -96,22 +14,308 @@ let cmp_post a b =
     let c = compare a.p_src b.p_src in
     if c <> 0 then c else compare a.p_seq b.p_seq
 
-(* Barrier merge: gather every member's staged posts, order them
-   deterministically, schedule into destinations. Runs on the
-   coordinating thread only. *)
-let drain t =
-  let all = ref [] in
-  Array.iter
-    (fun q ->
-      all := List.rev_append !q !all;
-      q := [])
-    t.out;
-  match !all with
-  | [] -> ()
-  | all ->
-    let arr = Array.of_list all in
-    Array.sort cmp_post arr;
-    Array.iter (fun p -> Sim.at t.sims.(p.p_dst) p.p_time p.p_fn) arr
+(* Worker handshake. Workers park in [wait] until the coordinator opens
+   an epoch by bumping [epoch]; each runs its member to [target]
+   (Barrier: one window per epoch; Neighbor: the whole run) and bumps
+   [n_done]. All fields are accessed under [lock]. *)
+type shared = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable epoch : int;
+  mutable target : int;
+  mutable n_done : int;
+  mutable quit : bool;
+  mutable aborted : bool;  (* a member failed; waiters must bail out *)
+  mutable failure : exn option;
+}
+
+type member = {
+  msim : Sim.t;
+  (* Canonical inbound queue: every post bound for this member, ordered
+     (time, src, seq). Flushed into [msim] only once the window that
+     could execute the post's cycle is about to open — so the per-sim
+     insertion order of cross-partition events is a pure function of the
+     inputs, identical for every window schedule and execution mode. *)
+  pending : post_rec Heap.t;
+  mutable mclock : int;  (* Neighbor mode: cycles completed by this member *)
+  mutable wend : int;  (* end of the window this member is executing *)
+}
+
+type t = {
+  mode : mode;
+  sync : sync;
+  adaptive : bool;
+  lookahead : int;
+  members : member array;
+  (* Single-producer staging: member s appends to scratch.(s).(d) during
+     its window. Barrier: the coordinator collects them at the barrier.
+     Neighbor: member s seals them into mail.(s).(d) under the lock at
+     its window end; member d drains them when it opens a window.
+     Self-posts (s = d) skip staging and go straight into the member's
+     own pending heap. *)
+  scratch : post_rec list ref array array;
+  mail : post_rec list ref array array;
+  done_upto : int array;  (* Neighbor: cycles sealed per member (under lock) *)
+  out_seq : int array;
+  mutable clock : int;
+  sh : shared;
+  mutable workers : unit Domain.t array;
+  mutable stall_s : float;
+  (* Window-width accounting, for perf reports and the qcheck bound
+     properties: count, min and max width over the engine's lifetime. *)
+  mutable n_windows : int;
+  mutable min_window : int;
+  mutable max_window : int;
+}
+
+(* Microseconds of barrier stall across every instance in the process. *)
+let global_stall_us = Atomic.make 0
+let total_barrier_stall_s () = float_of_int (Atomic.get global_stall_us) *. 1e-6
+
+(* Which partition the calling domain is currently executing, if any.
+   Member code runs with its index set; coordinator code between windows
+   runs with [None]. Replica-owned state (e.g. the cluster directory's
+   per-partition route caches) asserts against this to catch
+   cross-domain writes in debug builds. *)
+let part_key = Domain.DLS.new_key (fun () -> None)
+let current_partition () = Domain.DLS.get part_key
+let set_part v = Domain.DLS.set part_key v
+
+let create ?(mode = Seq) ?(sync = Barrier) ?(adaptive = false) ~lookahead ~n ()
+    =
+  if lookahead < 1 then invalid_arg "Par_sim.create: lookahead must be >= 1";
+  if n < 1 then invalid_arg "Par_sim.create: n must be >= 1";
+  let members =
+    Array.init n (fun i ->
+        let msim = Sim.create () in
+        (* Member 0 is the counted sim; the others would multiply-report
+           the same simulated interval. *)
+        if i > 0 then Sim.set_counted msim false;
+        { msim; pending = Heap.create ~cmp:cmp_post; mclock = 0; wend = 0 })
+  in
+  {
+    mode;
+    sync;
+    adaptive;
+    lookahead;
+    members;
+    scratch = Array.init n (fun _ -> Array.init n (fun _ -> ref []));
+    mail = Array.init n (fun _ -> Array.init n (fun _ -> ref []));
+    done_upto = Array.make n 0;
+    out_seq = Array.make n 0;
+    clock = 0;
+    sh =
+      {
+        lock = Mutex.create ();
+        cond = Condition.create ();
+        epoch = 0;
+        target = 0;
+        n_done = 0;
+        quit = false;
+        aborted = false;
+        failure = None;
+      };
+    workers = [||];
+    stall_s = 0.0;
+    n_windows = 0;
+    min_window = max_int;
+    max_window = 0;
+  }
+
+let mode t = t.mode
+let sync t = t.sync
+let adaptive t = t.adaptive
+let n_domains t = Array.length t.members
+let lookahead t = t.lookahead
+let sim t i = t.members.(i).msim
+let now t = t.clock
+let barrier_stall_s t = t.stall_s
+
+let window_stats t =
+  (t.n_windows, (if t.n_windows = 0 then 0 else t.min_window), t.max_window)
+
+let record_window t w =
+  t.n_windows <- t.n_windows + 1;
+  if w < t.min_window then t.min_window <- w;
+  if w > t.max_window then t.max_window <- w
+
+let post t ~src ~dst ~time fn =
+  let n = Array.length t.members in
+  let m = t.members.(src) in
+  if time < m.wend then
+    invalid_arg
+      (Printf.sprintf
+         "Par_sim.post: time %d inside the open window (end %d) — lookahead \
+          violation from partition %d"
+         time m.wend src);
+  (* The stronger contract — delivery at least one lookahead past the
+     source's own clock — is what makes the merged schedule independent
+     of window placement (adaptive widening, neighbor-only sync, random
+     window schedules). The window check above would let a post near the
+     end of a wide window slip under it. *)
+  if n > 1 && time < Sim.now m.msim + t.lookahead then
+    invalid_arg
+      (Printf.sprintf
+         "Par_sim.post: time %d under lookahead %d from partition %d at cycle \
+          %d"
+         time t.lookahead src (Sim.now m.msim));
+  if t.sync = Neighbor && abs (src - dst) > 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Par_sim.post: %d -> %d is not a neighbor edge (Neighbor sync)" src
+         dst);
+  let seq = t.out_seq.(src) in
+  t.out_seq.(src) <- seq + 1;
+  let r = { p_time = time; p_src = src; p_seq = seq; p_fn = fn } in
+  if dst = src then Heap.push m.pending r
+  else
+    let q = t.scratch.(src).(dst) in
+    q := r :: !q
+
+(* Move every staged post into its destination's pending heap. Runs on
+   the coordinating thread with all workers parked (the epoch handshake
+   provides the happens-before edge for the scratch and mail lists). *)
+let collect t =
+  let n = Array.length t.members in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      (match !(t.scratch.(s).(d)) with
+      | [] -> ()
+      | posts ->
+        t.scratch.(s).(d) := [];
+        List.iter (Heap.push t.members.(d).pending) posts);
+      match !(t.mail.(s).(d)) with
+      | [] -> ()
+      | posts ->
+        t.mail.(s).(d) := [];
+        List.iter (Heap.push t.members.(d).pending) posts
+    done
+  done
+
+(* Flush pending posts due before [wend] into the member's simulator, in
+   canonical (time, src, seq) order. *)
+let flush_member m wend =
+  let rec go () =
+    match Heap.peek m.pending with
+    | Some r when r.p_time < wend ->
+      ignore (Heap.pop m.pending);
+      Sim.at m.msim r.p_time r.p_fn;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+(* Adaptive window bound: no member can execute anything before the
+   earliest of (its own next activity, its earliest pending post), so
+   nothing can be posted earlier than that cycle — and every post lands
+   at least one lookahead later. Windows may therefore widen to
+   [earliest + lookahead] without violating conservative order. *)
+let earliest_activity t =
+  Array.fold_left
+    (fun acc m ->
+      let a = Sim.next_activity m.msim in
+      let p =
+        match Heap.peek m.pending with Some r -> r.p_time | None -> max_int
+      in
+      min acc (min a p))
+    max_int t.members
+
+let compute_wend t target =
+  if not t.adaptive then min (t.clock + t.lookahead) target
+  else begin
+    let e = earliest_activity t in
+    if e >= target - t.lookahead then target
+    else min target (e + t.lookahead)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Neighbor sync: members advance over the same fixed lookahead grid as
+   the Barrier reference, but each waits only for its two lattice
+   neighbors to have sealed up to its window start — no global barrier.
+   Correct because posts travel only one partition over (enforced in
+   [post]) and a post due in window [w] was staged strictly before [w]
+   opens, hence sealed once the neighbor's [done_upto] covers the window
+   start. The canonical pending heap makes delivery order identical to
+   the Barrier schedule. *)
+
+let member_loop t i target =
+  let n = Array.length t.members in
+  let m = t.members.(i) in
+  let sh = t.sh in
+  set_part (Some i);
+  (try
+     while m.mclock < target && not sh.aborted do
+       let wend = min (m.mclock + t.lookahead) target in
+       Mutex.lock sh.lock;
+       let ready () =
+         (i = 0 || t.done_upto.(i - 1) >= m.mclock)
+         && (i = n - 1 || t.done_upto.(i + 1) >= m.mclock)
+       in
+       if i = 0 && t.mode = Par && not (ready ()) then begin
+         let t0 = Profile.now_s () in
+         while not (ready ()) && not sh.aborted do
+           Condition.wait sh.cond sh.lock
+         done;
+         let stall = Profile.now_s () -. t0 in
+         t.stall_s <- t.stall_s +. stall;
+         ignore
+           (Atomic.fetch_and_add global_stall_us
+              (int_of_float (stall *. 1e6)))
+       end
+       else
+         while not (ready ()) && not sh.aborted do
+           Condition.wait sh.cond sh.lock
+         done;
+       (* Drain neighbors' sealed batches while still holding the lock. *)
+       let inbox = ref [] in
+       if i > 0 then begin
+         let q = t.mail.(i - 1).(i) in
+         inbox := !q;
+         q := []
+       end;
+       if i < n - 1 then begin
+         let q = t.mail.(i + 1).(i) in
+         inbox := List.rev_append !q !inbox;
+         q := []
+       end;
+       let bail = sh.aborted in
+       Mutex.unlock sh.lock;
+       if not bail then begin
+         List.iter (Heap.push m.pending) !inbox;
+         flush_member m wend;
+         m.wend <- wend;
+         Sim.run_until m.msim wend;
+         if i = 0 then record_window t (wend - m.mclock);
+         Mutex.lock sh.lock;
+         (if i > 0 then
+            let q = t.scratch.(i).(i - 1) in
+            match !q with
+            | [] -> ()
+            | l ->
+              q := [];
+              let mq = t.mail.(i).(i - 1) in
+              mq := List.rev_append l !mq);
+         (if i < n - 1 then
+            let q = t.scratch.(i).(i + 1) in
+            match !q with
+            | [] -> ()
+            | l ->
+              q := [];
+              let mq = t.mail.(i).(i + 1) in
+              mq := List.rev_append l !mq);
+         t.done_upto.(i) <- wend;
+         m.mclock <- wend;
+         Condition.broadcast sh.cond;
+         Mutex.unlock sh.lock
+       end
+     done
+   with e ->
+     Mutex.lock sh.lock;
+     if sh.failure = None then sh.failure <- Some e;
+     sh.aborted <- true;
+     Condition.broadcast sh.cond;
+     Mutex.unlock sh.lock);
+  set_part None
 
 (* ------------------------------------------------------------------ *)
 (* Par mode: persistent worker per member 1..n-1; member 0 runs on the
@@ -130,14 +334,19 @@ let worker t i () =
       my_epoch := sh.epoch;
       let target = sh.target in
       Mutex.unlock sh.lock;
-      (try Sim.run_until t.sims.(i) target
-       with e ->
-         Mutex.lock sh.lock;
-         if sh.failure = None then sh.failure <- Some e;
-         Mutex.unlock sh.lock);
+      (match t.sync with
+      | Neighbor -> member_loop t i target
+      | Barrier -> (
+        set_part (Some i);
+        (try Sim.run_until t.members.(i).msim target
+         with e ->
+           Mutex.lock sh.lock;
+           if sh.failure = None then sh.failure <- Some e;
+           Mutex.unlock sh.lock);
+        set_part None));
       Mutex.lock sh.lock;
       sh.n_done <- sh.n_done + 1;
-      if sh.n_done = Array.length t.sims - 1 then Condition.broadcast sh.cond;
+      if sh.n_done = Array.length t.members - 1 then Condition.broadcast sh.cond;
       Mutex.unlock sh.lock;
       loop ()
     end
@@ -145,10 +354,12 @@ let worker t i () =
   loop ()
 
 let ensure_workers t =
-  if Array.length t.workers = 0 && Array.length t.sims > 1 then begin
+  if Array.length t.workers = 0 && Array.length t.members > 1 then begin
     t.sh.quit <- false;
     t.workers <-
-      Array.init (Array.length t.sims - 1) (fun i -> Domain.spawn (worker t (i + 1)))
+      Array.init
+        (Array.length t.members - 1)
+        (fun i -> Domain.spawn (worker t (i + 1)))
   end
 
 let shutdown t =
@@ -162,22 +373,21 @@ let shutdown t =
     t.workers <- [||]
   end
 
-let run_window_seq t wend =
-  Array.iter (fun s -> Sim.run_until s wend) t.sims
-
-let run_window_par t wend =
+let open_epoch t target =
   ensure_workers t;
   let sh = t.sh in
   Mutex.lock sh.lock;
   sh.epoch <- sh.epoch + 1;
-  sh.target <- wend;
+  sh.target <- target;
   sh.n_done <- 0;
   Condition.broadcast sh.cond;
-  Mutex.unlock sh.lock;
-  Sim.run_until t.sims.(0) wend;
+  Mutex.unlock sh.lock
+
+let wait_workers t =
+  let sh = t.sh in
   let t0 = Profile.now_s () in
   Mutex.lock sh.lock;
-  while sh.n_done < Array.length t.sims - 1 do
+  while sh.n_done < Array.length t.members - 1 do
     Condition.wait sh.cond sh.lock
   done;
   let failure = sh.failure in
@@ -188,23 +398,96 @@ let run_window_par t wend =
   ignore (Atomic.fetch_and_add global_stall_us (int_of_float (stall *. 1e6)));
   match failure with None -> () | Some e -> raise e
 
-let run_until t time =
-  if Array.length t.sims = 1 then begin
-    (* One partition: no boundaries, no windows. *)
-    t.window_end <- time;
-    Sim.run_until t.sims.(0) time;
-    drain t;
-    t.clock <- max t.clock time
-  end
-  else
+(* The partition marker must not outlive the window even when a member
+   raises (e.g. a lookahead-violation or an ownership assert surfacing
+   to the caller) — a stale marker would poison every later
+   owner_check on this domain. *)
+let run_window_seq t wend =
+  Fun.protect
+    ~finally:(fun () -> set_part None)
+    (fun () ->
+      Array.iteri
+        (fun i m ->
+          set_part (Some i);
+          Sim.run_until m.msim wend)
+        t.members)
+
+let run_window_par t wend =
+  open_epoch t wend;
+  Fun.protect
+    ~finally:(fun () -> set_part None)
+    (fun () -> Sim.run_until t.members.(0).msim wend);
+  wait_workers t
+
+let run_barrier t time =
+  while t.clock < time do
+    collect t;
+    let wend = compute_wend t time in
+    record_window t (wend - t.clock);
+    Array.iter
+      (fun m ->
+        flush_member m wend;
+        m.wend <- wend)
+      t.members;
+    (match t.mode with
+    | Seq -> run_window_seq t wend
+    | Par -> run_window_par t wend);
+    t.clock <- wend
+  done
+
+let run_neighbor t time =
+  collect t;
+  Array.iteri
+    (fun i m ->
+      t.done_upto.(i) <- t.clock;
+      m.mclock <- t.clock)
+    t.members;
+  t.sh.aborted <- false;
+  (match t.mode with
+  | Seq ->
+    (* The sequential reference: same windows, same flush boundaries,
+       one domain. *)
     while t.clock < time do
       let wend = min (t.clock + t.lookahead) time in
-      t.window_end <- wend;
-      (match t.mode with
-      | Seq -> run_window_seq t wend
-      | Par -> run_window_par t wend);
-      drain t;
+      record_window t (wend - t.clock);
+      collect t;
+      Fun.protect
+        ~finally:(fun () -> set_part None)
+        (fun () ->
+          Array.iteri
+            (fun i m ->
+              flush_member m wend;
+              m.wend <- wend;
+              set_part (Some i);
+              Sim.run_until m.msim wend;
+              m.mclock <- wend)
+            t.members);
       t.clock <- wend
     done
+  | Par ->
+    open_epoch t time;
+    member_loop t 0 time;
+    wait_workers t;
+    (match t.sh.failure with
+    | None -> ()
+    | Some e ->
+      t.sh.failure <- None;
+      raise e);
+    t.clock <- time)
+
+let run_until t time =
+  if Array.length t.members = 1 then begin
+    (* One partition: no boundaries, no windows. *)
+    let m = t.members.(0) in
+    m.wend <- time;
+    Sim.run_until m.msim time;
+    collect t;
+    flush_member m max_int;
+    t.clock <- max t.clock time
+  end
+  else if time > t.clock then
+    match t.sync with
+    | Barrier -> run_barrier t time
+    | Neighbor -> run_neighbor t time
 
 let run_for t n = run_until t (t.clock + n)

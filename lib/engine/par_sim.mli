@@ -3,28 +3,45 @@
 
     A simulation is partitioned into [n] {e member domains}, one
     {!Sim.t} each. Members tick independently inside a {e
-    synchronization window} whose width is the {e lookahead}: the
-    minimum latency of any cross-partition interaction. Within a window
-    a member may touch only its own simulator's state; anything bound
-    for another partition is staged with {!post} and carries an absolute
-    delivery cycle at least one window away. At each window barrier the
-    coordinator drains every member's staged posts, orders them by
-    [(time, source partition, source sequence)], and schedules them into
-    the destination simulators — so the merged event order is a pure
-    function of the inputs, independent of how member execution
-    interleaved in real time.
+    synchronization window}; the {e lookahead} is the minimum latency of
+    any cross-partition interaction. Within a window a member may touch
+    only its own simulator's state; anything bound for another partition
+    is staged with {!post} and carries an absolute delivery cycle at
+    least one lookahead past the poster's own clock (checked at run
+    time).
 
-    Two execution modes share that schedule:
+    Every staged post first lands in the destination member's {e
+    canonical pending queue}, ordered by [(time, source partition,
+    source sequence)], and is flushed into the destination simulator
+    only when the window that could execute its cycle is about to open.
+    The per-simulator insertion order of cross-partition events is
+    therefore a pure function of the inputs — independent of window
+    widths, window placement, execution mode and real-time interleaving.
+
+    Execution modes ({!mode}) share that schedule:
 
     - {b Seq} runs the members round-robin on the calling domain — the
       reference engine;
-    - {b Par} runs each member on its own OCaml domain, with a barrier
-      per window.
+    - {b Par} runs each member on its own OCaml domain.
 
-    Because members are isolated within a window and the merge order is
-    fixed, Par is byte-identical to Seq for fixed seeds; the cross-check
-    tests in [test/test_par.ml] enforce this. The lookahead rule is
-    checked at run time: a post inside the current window raises.
+    Synchronization disciplines ({!sync}):
+
+    - {b Barrier}: a global barrier per window. With [~adaptive:true]
+      the coordinator widens each window to [earliest + lookahead],
+      where [earliest] is the soonest any member can next do work
+      ({!Sim.next_activity} or its earliest pending post) — sparse
+      boundary traffic then costs few barriers, while bursts fall back
+      to lookahead-width windows.
+    - {b Neighbor}: members advance over the fixed lookahead grid but
+      wait only for lattice neighbors [i-1] and [i+1] to have sealed up
+      to the window start — no global barrier. Posts are restricted to
+      neighbor edges (checked at run time); right for column-striped
+      meshes and other line topologies.
+
+    Because members are isolated within a window and delivery order is
+    canonical, Par is byte-identical to Seq for fixed seeds under every
+    discipline; the cross-check and qcheck property tests in
+    [test/test_par.ml] enforce this.
 
     {!Sim.stop} is not honoured across windows — partitioned runs have
     no global stop line short of the target cycle. *)
@@ -35,17 +52,25 @@ type t
 
 type mode =
   | Seq  (** windowed, single OS thread — the reference schedule *)
-  | Par  (** one OCaml domain per member, barrier per window *)
+  | Par  (** one OCaml domain per member *)
 
-val create : ?mode:mode -> lookahead:int -> n:int -> unit -> t
-(** [create ~mode ~lookahead ~n ()] makes [n] member simulators
-    (accessible via {!sim}) coordinated in windows of [lookahead]
-    cycles. [lookahead >= 1]; [n >= 1]. Default mode is [Seq]. Member 0
-    is the {e counted} simulator: only its cycles feed
-    {!Sim.total_cycles}, so a partitioned simulation reports its
-    simulated time once. *)
+type sync =
+  | Barrier  (** global barrier per window (optionally adaptive) *)
+  | Neighbor  (** neighbor-only waits on the fixed lookahead grid *)
+
+val create :
+  ?mode:mode -> ?sync:sync -> ?adaptive:bool -> lookahead:int -> n:int ->
+  unit -> t
+(** [create ~mode ~sync ~adaptive ~lookahead ~n ()] makes [n] member
+    simulators (accessible via {!sim}). [lookahead >= 1]; [n >= 1].
+    Defaults: [Seq], [Barrier], non-adaptive. [adaptive] only affects
+    [Barrier] sync. Member 0 is the {e counted} simulator: only its
+    cycles feed {!Sim.total_cycles}, so a partitioned simulation reports
+    its simulated time once. *)
 
 val mode : t -> mode
+val sync : t -> sync
+val adaptive : t -> bool
 val n_domains : t -> int
 val lookahead : t -> int
 
@@ -53,22 +78,34 @@ val sim : t -> int -> Sim.t
 (** The member simulator for partition [i] (0-based). *)
 
 val now : t -> int
-(** Cycles completed by every member (the barrier clock). *)
+(** Cycles completed by every member (the engine clock). *)
 
 val post : t -> src:int -> dst:int -> time:int -> (unit -> unit) -> unit
 (** Stage [fn] to run in the event phase of cycle [time] on member
     [dst]'s simulator. Must be called from member [src]'s execution (its
-    out-queue is single-producer), or from the coordinating thread
-    between runs. Raises [Invalid_argument] if [time] lands inside the
-    window currently executing — a lookahead violation. *)
+    staging queue is single-producer), or from the coordinating thread
+    between runs. Raises [Invalid_argument] when [time] lands inside the
+    poster's open window or under one lookahead of the poster's own
+    clock — a lookahead violation — or, under [Neighbor] sync, when
+    [dst] is not a lattice neighbor of [src]. *)
 
 val run_until : t -> int -> unit
 (** Advance every member to the target cycle, window by window. *)
 
 val run_for : t -> int -> unit
 
+val current_partition : unit -> int option
+(** The partition index the calling domain is currently executing, or
+    [None] on a coordinating thread between windows. Partition-owned
+    state (e.g. the cluster directory's replica caches) asserts against
+    this to trip on cross-domain writes in debug builds. *)
+
+val window_stats : t -> int * int * int
+(** [(count, min_width, max_width)] over the engine's lifetime — the
+    observability hook for the adaptive-window bound properties. *)
+
 val barrier_stall_s : t -> float
-(** Wall time the coordinator spent waiting at window barriers after
+(** Wall time the coordinator spent waiting on other members after
     finishing its own member's work (Par mode only; 0 under Seq). *)
 
 val total_barrier_stall_s : unit -> float

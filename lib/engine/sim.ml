@@ -214,3 +214,18 @@ let run_until t time =
 
 let run_for t n = run_until t (t.clock + n)
 let pending_events t = Heap.length t.events
+
+(* Earliest cycle at which this simulator can next do work: now, unless
+   it is quiescent, in which case the next heap event or Idle_until
+   wake-up (max_int when neither exists — fully drained). The adaptive
+   parallel engine widens its windows to this bound. *)
+let next_activity t =
+  if not t.quiescent then t.clock
+  else begin
+    let next =
+      match Heap.peek t.events with
+      | Some e -> min e.time t.next_wake
+      | None -> t.next_wake
+    in
+    if next < t.clock then t.clock else next
+  end

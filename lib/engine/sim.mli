@@ -118,6 +118,13 @@ val stopped : t -> bool
 val pending_events : t -> int
 (** Number of scheduled future events (for tests). *)
 
+val next_activity : t -> int
+(** Earliest cycle at which the simulator can next do work: [now t]
+    unless every clocked component is quiescent, in which case the next
+    heap event or [Idle_until] wake-up ([max_int] when neither exists).
+    {!Par_sim}'s adaptive windows widen to this bound plus the
+    lookahead. *)
+
 val cycles_skipped : t -> int
 (** Cycles fast-forwarded (not executed) since creation — for tests and
     perf reporting. *)

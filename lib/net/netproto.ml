@@ -25,21 +25,27 @@ let encode_request (r : request) =
   Buffer.add_bytes out r.body;
   Buffer.to_bytes out
 
-let decode_request b =
-  let n = Bytes.length b in
-  if n < 10 || Bytes.get b 0 <> 'Q' then Error "netproto: not a request"
+(* [off] parses an envelope embedded at an offset (e.g. after netsvc's
+   fabric framing) without the caller copying it out first. *)
+let decode_request ?(off = 0) b =
+  let n = Bytes.length b - off in
+  if n < 10 || Bytes.get b off <> 'Q' then Error "netproto: not a request"
   else begin
-    let req_id = (Bytes.get_uint16_be b 1 lsl 16) lor Bytes.get_uint16_be b 3 in
-    let op = (Bytes.get_uint16_be b 5 lsl 16) lor Bytes.get_uint16_be b 7 in
-    let slen = Char.code (Bytes.get b 9) in
+    let req_id =
+      (Bytes.get_uint16_be b (off + 1) lsl 16) lor Bytes.get_uint16_be b (off + 3)
+    in
+    let op =
+      (Bytes.get_uint16_be b (off + 5) lsl 16) lor Bytes.get_uint16_be b (off + 7)
+    in
+    let slen = Char.code (Bytes.get b (off + 9)) in
     if 10 + slen > n then Error "netproto: truncated service name"
     else
       Ok
         {
           req_id;
-          service = Bytes.sub_string b 10 slen;
+          service = Bytes.sub_string b (off + 10) slen;
           op;
-          body = Bytes.sub b (10 + slen) (n - 10 - slen);
+          body = Bytes.sub b (off + 10 + slen) (n - 10 - slen);
         }
   end
 
@@ -60,11 +66,13 @@ let encode_response (r : response) =
   Buffer.add_bytes out r.body;
   Buffer.to_bytes out
 
-let decode_response b =
-  let n = Bytes.length b in
-  if n < 6 || Bytes.get b 0 <> 'R' then Error "netproto: not a response"
+let decode_response ?(off = 0) b =
+  let n = Bytes.length b - off in
+  if n < 6 || Bytes.get b off <> 'R' then Error "netproto: not a response"
   else
-    let rsp_id = (Bytes.get_uint16_be b 1 lsl 16) lor Bytes.get_uint16_be b 3 in
-    match status_of_int (Char.code (Bytes.get b 5)) with
+    let rsp_id =
+      (Bytes.get_uint16_be b (off + 1) lsl 16) lor Bytes.get_uint16_be b (off + 3)
+    in
+    match status_of_int (Char.code (Bytes.get b (off + 5))) with
     | None -> Error "netproto: bad status"
-    | Some status -> Ok { rsp_id; status; body = Bytes.sub b 6 (n - 6) }
+    | Some status -> Ok { rsp_id; status; body = Bytes.sub b (off + 6) (n - 6) }

@@ -19,9 +19,13 @@ type response = { rsp_id : int; status : status; body : bytes }
 val status_to_string : status -> string
 
 val encode_request : request -> bytes
-val decode_request : bytes -> (request, string) result
+
+val decode_request : ?off:int -> bytes -> (request, string) result
+(** [off] (default 0) parses an envelope embedded at that offset,
+    saving the caller a [Bytes.sub]. *)
+
 val encode_response : response -> bytes
-val decode_response : bytes -> (response, string) result
+val decode_response : ?off:int -> bytes -> (response, string) result
 
 val max_body : int
 (** Maximum body carried in a single frame (no fragmentation in this

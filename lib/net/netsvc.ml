@@ -31,7 +31,7 @@ let decode_remote b =
     for i = 0 to 5 do
       mac := (!mac lsl 8) lor Char.code (Bytes.get b i)
     done;
-    match Netproto.decode_request (Bytes.sub b 6 (Bytes.length b - 6)) with
+    match Netproto.decode_request ~off:6 b with
     | Ok req -> Ok (!mac, req)
     | Error e -> Error e
   end

@@ -47,7 +47,7 @@ type 'a sink = Sink_chan of 'a chan | Sink_fn of ('a Packet.Flit.t -> unit)
 type 'a output = {
   mutable dest : 'a sink option;
   mutable credits : int;
-  mutable owner : (int * int) option;  (* (input port index, vc) mid-packet *)
+  mutable owner : int;  (* owning input slot mid-packet; -1 = free *)
 }
 
 type 'a t = {
@@ -60,8 +60,11 @@ type 'a t = {
   mutable obs_track : int;  (* tile index used as the Span track *)
   inputs : 'a chan array array;  (* [port][vc] *)
   outputs : 'a output array array;  (* [port][vc] *)
-  alloc : (int * int) option array array;
-      (* per input [port][vc]: allocated (output port index, vc) *)
+  (* Per input slot: allocated output port (-1 = unallocated) and output
+     vc — two int arrays rather than an option-of-pair table so the
+     per-flit routing path allocates nothing. *)
+  alloc_op : int array;
+  alloc_ov : int array;
   rr : int array;  (* rotating arbitration pointer per output port *)
   port_used : bool array;  (* input port crossbar slot used this cycle *)
   in_occ : int ref;  (* flits staged or buffered across all input channels *)
@@ -118,29 +121,28 @@ let clamp_cls t cls = if cls >= t.vcs then t.vcs - 1 else if cls < 0 then 0 else
    arbitration re-checks and skips). *)
 let classify t =
   Array.fill t.n_cand 0 Port.count 0;
+  let push_cand t slot op_i cls ov =
+    t.slot_cls.(slot) <- cls;
+    t.slot_ov.(slot) <- ov;
+    t.cand.(op_i).(t.n_cand.(op_i)) <- slot;
+    t.n_cand.(op_i) <- t.n_cand.(op_i) + 1
+  in
   for p = 0 to Port.count - 1 do
     let row = t.inputs.(p) in
     for v = 0 to t.vcs - 1 do
       let buf = row.(v).buf in
       if not (Fifo.is_empty buf) then begin
         let flit = Fifo.peek_exn buf in
-        let target =
-          match t.alloc.(p).(v) with
-          | Some (op', ov) -> Some (op', ov)
-          | None ->
-            if Packet.Flit.is_head flit then
-              let want = Routing.next_port t.routing ~at:t.coord ~dst:flit.pkt.dst in
-              Some (Port.index want, clamp_cls t flit.pkt.cls)
-            else None  (* body flit with no allocation: blocked this cycle *)
-        in
-        match target with
-        | None -> ()
-        | Some (op_i, ov) ->
-          let slot = (p * t.vcs) + v in
-          t.slot_cls.(slot) <- flit.pkt.cls;
-          t.slot_ov.(slot) <- ov;
-          t.cand.(op_i).(t.n_cand.(op_i)) <- slot;
-          t.n_cand.(op_i) <- t.n_cand.(op_i) + 1
+        let slot = (p * t.vcs) + v in
+        let op_i = Array.unsafe_get t.alloc_op slot in
+        if op_i >= 0 then
+          push_cand t slot op_i flit.pkt.cls (Array.unsafe_get t.alloc_ov slot)
+        else if Packet.Flit.is_head flit then begin
+          let want = Routing.next_port t.routing ~at:t.coord ~dst:flit.pkt.dst in
+          push_cand t slot (Port.index want) flit.pkt.cls
+            (clamp_cls t flit.pkt.cls)
+        end
+        (* body flit with no allocation: blocked this cycle *)
       end
     done
   done
@@ -158,7 +160,7 @@ let arbitrate t op =
   let cand = t.cand.(op_i) in
   for k = 0 to t.n_cand.(op_i) - 1 do
     let slot = Array.unsafe_get cand k in
-    let p = Array.unsafe_get t.slot_p slot and v = Array.unsafe_get t.slot_v slot in
+    let p = Array.unsafe_get t.slot_p slot in
     if not (Array.unsafe_get t.port_used p) then begin
       let ov = Array.unsafe_get t.slot_ov slot in
       let o = t.outputs.(op_i).(ov) in
@@ -166,21 +168,19 @@ let arbitrate t op =
          credit stall — the per-cycle backpressure count the perf block
          exposes. The check order preserves admissibility exactly. *)
       let admissible =
-        match t.alloc.(p).(v) with
-        | Some _ ->
+        if Array.unsafe_get t.alloc_op slot >= 0 then
           if o.credits > 0 then true
           else begin
             Perf.incr t.perf Perf.credit_stalls;
             false
           end
-        | None ->
-          if o.owner = None && o.dest <> None then
-            if o.credits > 0 then true
-            else begin
-              Perf.incr t.perf Perf.credit_stalls;
-              false
-            end
-          else false
+        else if o.owner < 0 && o.dest <> None then
+          if o.credits > 0 then true
+          else begin
+            Perf.incr t.perf Perf.credit_stalls;
+            false
+          end
+        else false
       in
       if admissible then begin
         (* Priority key: class when QoS is on, then rotating order.
@@ -211,8 +211,9 @@ let route_one t op =
     let o = t.outputs.(op_i).(ov) in
     let flit = chan_pop_exn t.inputs.(p).(v) in
     if Packet.Flit.is_head flit then begin
-      t.alloc.(p).(v) <- Some (op_i, ov);
-      o.owner <- Some (p, v);
+      t.alloc_op.(slot) <- op_i;
+      t.alloc_ov.(slot) <- ov;
+      o.owner <- slot;
       if Span.on () then begin
         (* One span per head flit per router: from the cycle the head
            last advanced (injection or upstream hop) to now, i.e. this
@@ -238,8 +239,8 @@ let route_one t op =
     | None -> assert false);
     o.credits <- o.credits - 1;
     if Packet.Flit.is_tail flit then begin
-      t.alloc.(p).(v) <- None;
-      o.owner <- None
+      t.alloc_op.(slot) <- -1;
+      o.owner <- -1
     end;
     t.port_used.(p) <- true;
     t.rr.(op_i) <- ((p * t.vcs) + v + 1) mod (Port.count * t.vcs);
@@ -290,8 +291,9 @@ let create sim ~coord ~vcs ~depth ~routing ~qos =
       inputs = Array.init Port.count mk_inputs;
       outputs =
         Array.init Port.count (fun _ ->
-            Array.init vcs (fun _ -> { dest = None; credits = 0; owner = None }));
-      alloc = Array.init Port.count (fun _ -> Array.make vcs None);
+            Array.init vcs (fun _ -> { dest = None; credits = 0; owner = -1 }));
+      alloc_op = Array.make (Port.count * vcs) (-1);
+      alloc_ov = Array.make (Port.count * vcs) 0;
       rr = Array.make Port.count 0;
       port_used = Array.make Port.count false;
       in_occ;

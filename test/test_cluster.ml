@@ -20,8 +20,10 @@ let b = Bytes.of_string
 (* ------------------------------------------------------------------ *)
 (* Directory (pure rack-controller state) *)
 
+(* Standalone directories are synchronous (announce_delay 0); in a
+   Cluster, mutations take one uplink to become visible. *)
 let test_directory_local_hit () =
-  let d = Directory.create () in
+  let d = Directory.create (Sim.create ()) in
   Directory.register d ~service:"kv" ~board:0 ~mac:0xA0;
   Directory.register d ~service:"kv" ~board:1 ~mac:0xA1;
   match Directory.resolve d ~from_board:0 ~service:"kv" with
@@ -30,7 +32,7 @@ let test_directory_local_hit () =
   | None -> Alcotest.fail "unresolved"
 
 let test_directory_remote_hit_and_cache () =
-  let d = Directory.create () in
+  let d = Directory.create (Sim.create ()) in
   Directory.register d ~service:"kv" ~board:0 ~mac:0xA0;
   let first =
     match Directory.resolve d ~from_board:2 ~service:"kv" with
@@ -50,7 +52,7 @@ let test_directory_remote_hit_and_cache () =
     (Directory.resolve d ~from_board:2 ~service:"nope" = None)
 
 let test_directory_stale_route_invalidation () =
-  let d = Directory.create () in
+  let d = Directory.create (Sim.create ()) in
   Directory.register d ~service:"kv" ~board:0 ~mac:0xA0;
   Directory.register d ~service:"kv" ~board:1 ~mac:0xA1;
   let chosen =
@@ -60,7 +62,7 @@ let test_directory_stale_route_invalidation () =
   in
   (* The chosen board dies: its cached route must not be handed out
      again; resolution moves to the survivor. *)
-  Directory.report_failure d ~board:chosen;
+  Directory.report_failure d ~board:chosen ();
   (match Directory.resolve d ~from_board:2 ~service:"kv" with
   | Some (Directory.Remote r) ->
     Alcotest.(check bool) "moved off the dead board" true
@@ -73,6 +75,45 @@ let test_directory_stale_route_invalidation () =
   match Directory.resolve d ~from_board:2 ~service:"kv" with
   | Some (Directory.Remote _) -> ()
   | _ -> Alcotest.fail "survivor should still resolve"
+
+(* A delayed directory hides a mutation until one announce_delay has
+   fully passed — the visibility rule that makes monolithic and
+   partitioned racks byte-identical. *)
+let test_directory_announce_delay () =
+  let sim = Sim.create () in
+  let d = Directory.create ~announce_delay:10 sim in
+  Directory.register d ~service:"kv" ~board:0 ~mac:0xA0;
+  Alcotest.(check bool) "invisible before the delay" true
+    (Directory.resolve d ~from_board:2 ~service:"kv" = None);
+  Sim.run_until sim 10;  (* now = announce cycle + delay *)
+  Alcotest.(check bool) "invisible at exactly now + delay" true
+    (Directory.resolve d ~from_board:2 ~service:"kv" = None);
+  Sim.step sim;  (* visibility is strictly after: a_time < now *)
+  match Directory.resolve d ~from_board:2 ~service:"kv" with
+  | Some (Directory.Remote r) -> Alcotest.(check int) "visible after" 0xA0 r.mac
+  | _ -> Alcotest.fail "expected the registration to have landed"
+
+(* Debug builds trip on a replica touched from the wrong partition: the
+   single-writer discipline the replicated directory is built on. *)
+let test_directory_cross_partition_assert () =
+  let module Par_sim = Apiary_engine.Par_sim in
+  let eng = Par_sim.create ~lookahead:16 ~n:3 () in
+  let d =
+    Directory.create_replicated ~announce_delay:16
+      ~sims:(Array.init 3 (Par_sim.sim eng))
+      ~home:(fun b -> b + 1)
+      ~post:(fun ~src ~dst ~time fn -> Par_sim.post eng ~src ~dst ~time fn)
+      ()
+  in
+  Directory.register d ~service:"kv" ~board:0 ~mac:0xA0;
+  (* Board 0's replica lives on partition 1; resolving it from member
+     2's execution is a cross-domain access. *)
+  Sim.at (Par_sim.sim eng 2) 1 (fun () ->
+      ignore (Directory.resolve d ~from_board:0 ~service:"kv"));
+  (match Par_sim.run_until eng 40 with
+  | () -> Alcotest.fail "cross-partition resolve went undetected"
+  | exception Assert_failure _ -> ());
+  Par_sim.shutdown eng
 
 (* ------------------------------------------------------------------ *)
 (* Shard ring (pure) *)
@@ -295,6 +336,10 @@ let () =
             test_directory_remote_hit_and_cache;
           Alcotest.test_case "stale-route invalidation" `Quick
             test_directory_stale_route_invalidation;
+          Alcotest.test_case "announce delay visibility" `Quick
+            test_directory_announce_delay;
+          Alcotest.test_case "cross-partition write asserts" `Quick
+            test_directory_cross_partition_assert;
         ] );
       ( "shard",
         [

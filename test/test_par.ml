@@ -103,8 +103,8 @@ let run_mesh engine_mode cycles =
     Sim.run_until sim cycles;
     Traffic.stop_gen gen;
     mesh_fingerprint mesh ~offered:(Traffic.offered gen)
-  | Some mode ->
-    let eng = Par_sim.create ~mode ~lookahead:1 ~n:2 () in
+  | Some (mode, sync, adaptive) ->
+    let eng = Par_sim.create ~mode ~sync ~adaptive ~lookahead:1 ~n:2 () in
     let mesh = Mesh.create ~engine:eng (Par_sim.sim eng 0) cfg in
     (* One generator replica per stripe, identically seeded: replicas
        draw the same RNG stream and partition the injections. *)
@@ -120,10 +120,12 @@ let run_mesh engine_mode cycles =
     let offered = List.fold_left (fun a g -> a + Traffic.offered g) 0 gens in
     mesh_fingerprint mesh ~offered
 
+let fixed_barrier mode = Some (mode, Par_sim.Barrier, false)
+
 let test_mesh_partitioned_matches_monolithic () =
   let cycles = 6_000 in
   let mono = run_mesh None cycles in
-  let seq = run_mesh (Some Par_sim.Seq) cycles in
+  let seq = run_mesh (fixed_barrier Par_sim.Seq) cycles in
   Alcotest.(check string) "striped Seq == monolithic" mono seq;
   (* Sanity: the workload exercised the boundary. *)
   Alcotest.(check bool) "packets flowed" true
@@ -131,9 +133,21 @@ let test_mesh_partitioned_matches_monolithic () =
 
 let test_mesh_par_matches_seq () =
   let cycles = 6_000 in
-  let seq = run_mesh (Some Par_sim.Seq) cycles in
-  let par = run_mesh (Some Par_sim.Par) cycles in
+  let seq = run_mesh (fixed_barrier Par_sim.Seq) cycles in
+  let par = run_mesh (fixed_barrier Par_sim.Par) cycles in
   Alcotest.(check string) "striped Par == striped Seq" seq par
+
+(* Every discipline shares the canonical delivery schedule, so neighbor
+   sync and adaptive windows must not move a single byte. *)
+let test_mesh_disciplines_agree () =
+  let cycles = 6_000 in
+  let reference = run_mesh (fixed_barrier Par_sim.Seq) cycles in
+  let neighbor =
+    run_mesh (Some (Par_sim.Par, Par_sim.Neighbor, false)) cycles
+  in
+  Alcotest.(check string) "Neighbor Par == Barrier Seq" reference neighbor;
+  let adaptive = run_mesh (Some (Par_sim.Par, Par_sim.Barrier, true)) cycles in
+  Alcotest.(check string) "adaptive Par == fixed Seq" reference adaptive
 
 (* ------------------------------------------------------------------ *)
 (* Rack cross-check (E12-small shape): Seq vs Par *)
@@ -144,7 +158,8 @@ let event_to_string e =
 let run_rack mode cycles =
   let boards = 2 in
   let eng =
-    Par_sim.create ~mode ~lookahead:Cluster.lookahead ~n:(boards + 1) ()
+    Par_sim.create ~mode ~adaptive:true ~lookahead:Cluster.lookahead
+      ~n:(boards + 1) ()
   in
   let cluster =
     Cluster.create ~engine:eng (Par_sim.sim eng 0) ~boards ~client_ports:2
@@ -187,6 +202,91 @@ let test_rack_par_matches_seq () =
   Alcotest.(check bool) "requests completed" true
     (String.length stats_seq > 0 && trace_seq <> [])
 
+(* ------------------------------------------------------------------ *)
+(* qcheck properties: canonical delivery and window bounds.
+
+   Synthetic cross-partition workload: member k fires every (3 + k)
+   cycles and stamps a neighbor at [now + lookahead + jitter], the
+   jitter a pure function of time (no shared state). Logs are
+   per-member — written only by the owning domain — and concatenated
+   after the run, so the fingerprint is race-free under real Par
+   execution. *)
+
+let run_synth ~mode ~sync ~adaptive ~lookahead ~n ~total ~chunks =
+  let eng = Par_sim.create ~mode ~sync ~adaptive ~lookahead ~n () in
+  let logs = Array.make n [] in
+  for k = 0 to n - 1 do
+    let src_sim = Par_sim.sim eng k in
+    let dst = if k + 1 < n then k + 1 else k - 1 in
+    Sim.every src_sim (3 + k) (fun () ->
+        let now = Sim.now src_sim in
+        let time = now + lookahead + (now mod 3) in
+        Par_sim.post eng ~src:k ~dst ~time (fun () ->
+            logs.(dst) <- (Sim.now (Par_sim.sim eng dst), k) :: logs.(dst)))
+  done;
+  (* Random window placement: advance in caller-chosen chunks, then to
+     the common target. Canonical delivery makes the result independent
+     of this schedule. *)
+  List.iter
+    (fun c -> Par_sim.run_until eng (min total (Par_sim.now eng + c)))
+    chunks;
+  Par_sim.run_until eng total;
+  Par_sim.shutdown eng;
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun d l ->
+      List.iter
+        (fun (t, s) -> Buffer.add_string buf (Printf.sprintf "%d<%d@%d;" d s t))
+        (List.rev l))
+    logs;
+  (Buffer.contents buf, Par_sim.window_stats eng)
+
+type synth_cfg = {
+  c_n : int;
+  c_lookahead : int;
+  c_adaptive : bool;
+  c_neighbor : bool;
+  c_chunks : int list;
+}
+
+let cfg_arb =
+  let gen =
+    QCheck.Gen.(
+      let* c_n = int_range 2 4 in
+      let* c_lookahead = int_range 1 6 in
+      let* c_adaptive = bool in
+      let* c_neighbor = bool in
+      let* c_chunks = list_size (int_range 0 6) (int_range 1 97) in
+      return { c_n; c_lookahead; c_adaptive; c_neighbor; c_chunks })
+  in
+  let print c =
+    Printf.sprintf "{n=%d; lookahead=%d; adaptive=%b; neighbor=%b; chunks=[%s]}"
+      c.c_n c.c_lookahead c.c_adaptive c.c_neighbor
+      (String.concat ";" (List.map string_of_int c.c_chunks))
+  in
+  QCheck.make ~print gen
+
+let synth_of c mode ~chunks =
+  run_synth ~mode
+    ~sync:(if c.c_neighbor then Par_sim.Neighbor else Par_sim.Barrier)
+    ~adaptive:c.c_adaptive ~lookahead:c.c_lookahead ~n:c.c_n ~total:500 ~chunks
+
+let prop_delivery_canonical =
+  QCheck.Test.make ~count:25 ~name:"Seq == Par across random schedules"
+    cfg_arb (fun c ->
+      let fp_chunked, _ = synth_of c Par_sim.Seq ~chunks:c.c_chunks in
+      let fp_whole, _ = synth_of c Par_sim.Seq ~chunks:[] in
+      let fp_par, _ = synth_of c Par_sim.Par ~chunks:c.c_chunks in
+      fp_chunked = fp_whole && fp_whole = fp_par && String.length fp_whole > 0)
+
+let prop_window_bounds =
+  QCheck.Test.make ~count:25 ~name:"window widths stay in [1, bound]"
+    cfg_arb (fun c ->
+      let _, (count, min_w, max_w) = synth_of c Par_sim.Seq ~chunks:c.c_chunks in
+      count >= 1 && min_w >= 1
+      && max_w <= 500
+      && ((c.c_adaptive && not c.c_neighbor) || max_w <= c.c_lookahead))
+
 let () =
   Alcotest.run "par"
     [
@@ -197,12 +297,16 @@ let () =
             test_lookahead_violation_raises;
           Alcotest.test_case "single partition" `Quick
             test_single_partition_no_windows;
+          QCheck_alcotest.to_alcotest prop_delivery_canonical;
+          QCheck_alcotest.to_alcotest prop_window_bounds;
         ] );
       ( "mesh",
         [
           Alcotest.test_case "striped == monolithic" `Quick
             test_mesh_partitioned_matches_monolithic;
           Alcotest.test_case "Par == Seq" `Quick test_mesh_par_matches_seq;
+          Alcotest.test_case "disciplines agree" `Quick
+            test_mesh_disciplines_agree;
         ] );
       ( "rack",
         [
