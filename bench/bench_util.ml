@@ -127,6 +127,9 @@ type perf_record = {
   pr_cycles : int;
   pr_skipped : int;  (* cycles fast-forwarded through quiescence *)
   pr_stall_s : float;  (* barrier stall (parallel engine only) *)
+  pr_windows : int;  (* adaptive sync windows executed during the run *)
+  pr_win_min : int;  (* narrowest/widest window width so far, process-wide *)
+  pr_win_max : int;
 }
 
 let perf_records : perf_record list ref = ref []
@@ -139,9 +142,15 @@ let timed id f () =
     let cycles0 = Sim.total_cycles () in
     let skipped0 = Sim.total_skipped () in
     let stall0 = Par_sim.total_barrier_stall_s () in
+    let windows0, _, _ = Par_sim.total_window_stats () in
     let t0 = Unix.gettimeofday () in
     f ();
     let dt = Unix.gettimeofday () -. t0 in
+    (* Window count is differenced per experiment; the min/max widths
+       are process-wide high/low watermarks (windows from earlier
+       experiments included), which is all the atomic accounting can
+       offer without per-instance plumbing. *)
+    let windows1, win_min, win_max = Par_sim.total_window_stats () in
     perf_records :=
       {
         pr_id = id;
@@ -149,6 +158,9 @@ let timed id f () =
         pr_cycles = Sim.total_cycles () - cycles0;
         pr_skipped = Sim.total_skipped () - skipped0;
         pr_stall_s = Par_sim.total_barrier_stall_s () -. stall0;
+        pr_windows = windows1 - windows0;
+        pr_win_min = win_min;
+        pr_win_max = win_max;
       }
       :: !perf_records
   end
@@ -175,9 +187,15 @@ let write_perf_json path =
         (if r.pr_wall_s > 0.0 then float_of_int r.pr_cycles /. r.pr_wall_s
          else 0.0)
         r.pr_skipped
-        (if r.pr_stall_s > 0.0 then
-           Printf.sprintf ", \"barrier_stall_s\": %.3f" r.pr_stall_s
-         else "")
+        ((if r.pr_stall_s > 0.0 then
+            Printf.sprintf ", \"barrier_stall_s\": %.3f" r.pr_stall_s
+          else "")
+        ^
+        if r.pr_windows > 0 then
+          Printf.sprintf
+            ", \"windows\": %d, \"win_min\": %d, \"win_max\": %d"
+            r.pr_windows r.pr_win_min r.pr_win_max
+        else "")
         (if i = List.length records - 1 then "" else ","))
     records;
   output_string oc "  ]\n}\n";

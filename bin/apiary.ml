@@ -241,11 +241,19 @@ let top_cmd scenario cycles clients interval once seed =
     match blocks.(n) with
     | None -> ()
     | Some p ->
+      (* The Board query merges every tile's monitor block with every
+         router's, so busy/flits here are the whole board's. *)
+      let flits = Perf.read p Perf.flits in
+      let busy = Perf.read p Perf.busy in
       Printf.printf
-        "board: %d flits routed, %d credit stalls, peak router occ %d\n"
-        (Perf.read p Perf.flits)
+        "board: %d flits routed (%.3f/cycle), %d credit stalls, peak router occ %d\n"
+        flits
+        (float_of_int flits /. float_of_int (max 1 now))
         (Perf.read p Perf.credit_stalls)
-        (Perf.read p Perf.occ_peak)
+        (Perf.read p Perf.occ_peak);
+      Printf.printf
+        "board: %d router-busy cycles — %.1f%% mean router utilization\n" busy
+        (100.0 *. float_of_int busy /. float_of_int (max 1 (now * n)))
   in
   Kernel.install kernel ~tile:reader_tile
     (Apiary_core.Shell.behavior "top" ~on_boot:(fun sh ->
@@ -370,6 +378,155 @@ let area_cmd part tiles cap_entries flit_bits =
     0
 
 (* ------------------------------------------------------------------ *)
+(* sched *)
+
+module Cluster = Apiary_cluster.Cluster
+module Shard_client = Apiary_cluster.Shard_client
+module Rack_health = Apiary_cluster.Rack_health
+module Sched = Apiary_sched.Sched
+module Placer = Apiary_sched.Placer
+
+(* A compact multi-tenant rack under the elastic scheduler: three echo
+   tenants (a diurnal "web", a big-part-only "ml", a flash-crowd
+   "burst") share --boards boards, the scheduler places/migrates/
+   autoscales, and the decision log lands in --decisions-out. With
+   --kill, a board serving web is downed mid-run and the watchdog alarm
+   path re-places its tenants. The run is deterministic. *)
+
+let sched_cmd boards cycles kill decisions_out =
+  if boards < 2 then begin
+    Printf.eprintf "sched: need at least 2 boards\n";
+    1
+  end
+  else begin
+    let sim = Sim.create () in
+    let cluster = Cluster.create sim ~boards ~client_ports:5 in
+    let noc = { Area.vcs = 2; depth = 4; flit_bits = 32 } in
+    let slot_of part =
+      match Floorplan.plan ~part ~tiles:16 ~noc ~cap_entries:16 with
+      | Some p -> p.Floorplan.slot_logic_cells
+      | None -> failwith "sched: OS exceeds part"
+    in
+    let big = slot_of Parts.vu9p and small = slot_of Parts.xc7v585t in
+    let slot_cells b = if b < 2 then big else small in
+    let mk name ~cells ~state ~bits ~max ~slo ~cap =
+      {
+        Placer.name;
+        cells;
+        state_bytes = state;
+        bitstream_bytes = bits;
+        reservation = 1;
+        max_replicas = max;
+        slo_cycles = slo;
+        capacity_hint = cap;
+      }
+    in
+    let specs =
+      [
+        mk "web" ~cells:(small / 2) ~state:4_096 ~bits:16_384 ~max:3 ~slo:5_000
+          ~cap:66;
+        mk "ml"
+          ~cells:((big + small) / 2)  (* only fits the big-part boards *)
+          ~state:65_536 ~bits:131_072 ~max:2 ~slo:25_000 ~cap:16;
+        mk "burst" ~cells:(small / 3) ~state:2_048 ~bits:8_192 ~max:2 ~slo:5_000
+          ~cap:66;
+      ]
+    in
+    let behavior_of (s : Placer.tenant) () =
+      Accels.echo ~service:s.Placer.name
+        ~cost:(if s.Placer.name = "ml" then 1_200 else 300)
+        ()
+    in
+    let cfg =
+      {
+        Sched.default_config with
+        Sched.report_period = 4_000;
+        hot_load = 30;
+        cold_load = 12;
+        cooldown = 60_000;
+      }
+    in
+    let sched = Sched.create ~config:cfg cluster ~slot_cells in
+    List.iter
+      (fun s -> Sched.add_tenant sched ~spec:s ~behavior:(behavior_of s))
+      specs;
+    let clients =
+      List.map
+        (fun (s : Placer.tenant) ->
+          let c =
+            Shard_client.create cluster ~timeout:20_000 ~service:s.Placer.name
+              ~op:Accels.op_echo ~route:Shard_client.Round_robin
+              ~gen:(fun _ -> ("", Bytes.make 64 'x'))
+          in
+          Sched.watch sched ~tenant:s.Placer.name c;
+          (s, c))
+        specs
+    in
+    Sched.start sched;
+    Sched.register_metrics sched;
+    let health = Rack_health.create cluster in
+    let client name = List.assq (List.find (fun s -> s.Placer.name = name) specs) clients in
+    let ramp name at extra =
+      Sim.after sim at (fun () ->
+          Shard_client.start (client name) ~concurrency:extra)
+    in
+    let ramp_down name at restart =
+      Sim.after sim at (fun () ->
+          Shard_client.stop (client name);
+          Sim.after sim 6_000 (fun () ->
+              Shard_client.start (client name) ~concurrency:restart))
+    in
+    ramp "web" 3_000 6;
+    ramp "ml" 3_100 3;
+    ramp "burst" 3_200 2;
+    ramp "web" (cycles / 3) 12;
+    ramp_down "web" (2 * cycles / 3) 2;
+    ramp "burst" (cycles / 2) 16;
+    ramp_down "burst" ((cycles / 2) + (cycles / 6)) 1;
+    let victim = ref (-1) in
+    if kill then
+      Sim.after sim (cycles / 2) (fun () ->
+          match Sched.placement sched ~tenant:"web" with
+          | b :: _ ->
+            victim := b;
+            Printf.printf "[%8d] kill board %d (serving web)\n" (Sim.now sim) b;
+            Cluster.kill cluster ~board:b
+          | [] -> ());
+    Sim.run_for sim cycles;
+    List.iter (fun (_, c) -> Shard_client.stop c) clients;
+    Printf.printf "%-6s %10s %8s %6s %9s %9s\n" "tenant" "completed" "slo%"
+      "repl" "failovers" "retries";
+    List.iter
+      (fun ((s : Placer.tenant), c) ->
+        let lat = Shard_client.latency c in
+        let nl = Stats.Histogram.count lat in
+        let ok = Stats.Histogram.count_le lat s.Placer.slo_cycles in
+        Printf.printf "%-6s %10d %7.1f%% %6d %9d %9d\n" s.Placer.name
+          (Shard_client.completed c)
+          (if nl = 0 then 100.0
+           else 100.0 *. float_of_int ok /. float_of_int nl)
+          (Sched.replicas sched ~tenant:s.Placer.name)
+          (Shard_client.failovers c) (Shard_client.errors c))
+      clients;
+    let t = Sched.totals sched in
+    Printf.printf
+      "decisions: %d placements, %d migrations, %d/%d scale up/down, %d \
+       deferred, %d replaced\n"
+      t.Sched.placements t.Sched.migrations t.Sched.scale_ups
+      t.Sched.scale_downs t.Sched.deferred t.Sched.replaced;
+    if kill && !victim >= 0 then
+      (match List.find_opt (fun (_, b) -> b = !victim) (Rack_health.detections health) with
+      | Some (cyc, b) ->
+        Printf.printf "watchdog: board %d declared down at cycle %d\n" b cyc
+      | None -> Printf.printf "watchdog: kill not detected (run too short?)\n");
+    let oc = open_out decisions_out in
+    output_string oc (Sched.decisions_json sched);
+    close_out oc;
+    Printf.printf "decision log -> %s\n" decisions_out;
+    0
+  end
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing *)
 
 let seed_arg =
@@ -480,6 +637,27 @@ let area_term =
 
 let area_cmd_info = Cmd.info "area" ~doc:"Resource model: OS footprint on a part"
 
+let sched_term =
+  let boards =
+    Arg.(value & opt int 4 & info [ "boards" ] ~doc:"Boards in the rack.")
+  in
+  let cycles =
+    Arg.(value & opt int 400_000 & info [ "cycles" ] ~doc:"Cycles to simulate.")
+  in
+  let kill =
+    Arg.(value & flag & info [ "kill" ]
+           ~doc:"Down a board serving the web tenant mid-run (failure drill).")
+  in
+  let decisions_out =
+    Arg.(value & opt string "sched_decisions.json" & info [ "decisions-out" ]
+           ~doc:"Decision log output path (JSON array).")
+  in
+  Term.(const sched_cmd $ boards $ cycles $ kill $ decisions_out)
+
+let sched_cmd_info =
+  Cmd.info "sched"
+    ~doc:"Elastic multi-tenant scheduler: place, migrate, autoscale a rack"
+
 let () =
   let doc = "Apiary: a microkernel OS for direct-attached FPGAs (simulated)" in
   let info = Cmd.info "apiary" ~version:"0.1.0" ~doc in
@@ -493,4 +671,5 @@ let () =
             Cmd.v top_cmd_info top_term;
             Cmd.v noc_cmd_info noc_term;
             Cmd.v area_cmd_info area_term;
+            Cmd.v sched_cmd_info sched_term;
           ]))

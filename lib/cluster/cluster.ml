@@ -15,6 +15,7 @@ module Board = Apiary_apps.Board
 
 type t = {
   sim : Sim.t;
+  engine : Par_sim.t option;  (* Some when the rack is partitioned *)
   switch : Switch.t;
   directory : Directory.t;
   nodes : Node.t array;
@@ -83,6 +84,7 @@ let create ?kernel_cfg ?(client_ports = 8) ?(switch_latency = 250)
   in
   {
     sim;
+    engine;
     switch;
     directory;
     nodes;
@@ -91,6 +93,23 @@ let create ?kernel_cfg ?(client_ports = 8) ?(switch_latency = 250)
     on_up = [];
     on_down = [];
   }
+
+(* Controller-to-board command delivery: run [fn] inside board [board]'s
+   partition [delay] cycles from the controller's now. Commands ride the
+   same staging protocol as uplink frames and directory announcements
+   (so [delay >= lookahead]); in a monolithic rack the timing is
+   identical, keeping partitioned runs byte-for-byte the same. Must be
+   called from controller (member 0) execution. *)
+let post_to_board t ~board ~delay fn =
+  if delay < lookahead then
+    invalid_arg "Cluster.post_to_board: delay must be >= Cluster.lookahead";
+  if board < 0 || board >= Array.length t.nodes then
+    invalid_arg "Cluster.post_to_board: no such board";
+  match t.engine with
+  | Some eng ->
+    Par_sim.post eng ~src:0 ~dst:(board + 1)
+      ~time:(Sim.now t.sim + delay) fn
+  | None -> Sim.after t.sim delay fn
 
 let sim t = t.sim
 let switch t = t.switch

@@ -101,6 +101,17 @@ val report_down : t -> board:int -> unit
 (** Declare a board failed: unregister its directory replicas and fire
     {!on_board_down} subscribers. Called by failure detectors. *)
 
+(** {1 Control plane} *)
+
+val post_to_board : t -> board:int -> delay:int -> (unit -> unit) -> unit
+(** Run a thunk inside [board]'s partition [delay] cycles from the
+    controller's now — the rack controller's command channel (e.g. a
+    scheduler ordering an install or reconfiguration). [delay] must be
+    at least {!lookahead}: commands ride the same staging protocol as
+    uplink frames, and the same delay applies in a monolithic rack, so
+    partitioned runs stay byte-identical. Call only from controller
+    (member 0) execution. *)
+
 (** {1 External clients} *)
 
 val add_client : ?gbps:float -> t -> Mac.t * int

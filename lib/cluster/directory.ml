@@ -30,6 +30,7 @@ type resolution = Local | Remote of replica
 type update =
   | U_register of { service : string; board : int; mac : int }
   | U_unregister of { board : int }
+  | U_unregister_service of { service : string; board : int }
 
 type ann = { a_time : int; a_src : int; a_seq : int; u : update }
 
@@ -157,6 +158,30 @@ let apply rep = function
         | _ -> ())
       rep.routes;
     rep.reg_epoch <- rep.reg_epoch + 1
+  | U_unregister_service { service; board } ->
+    (* One (service, board) pair — the scheduler draining a single
+       replica off a live board, not a whole-board failure. Sticky
+       routes that picked this replica are pruned so the next resolve
+       re-spreads over the survivors. *)
+    (match Hashtbl.find_opt rep.registry service with
+    | None -> ()
+    | Some rs ->
+      let rs = List.filter (fun r -> r.board <> board) rs in
+      if rs = [] then Hashtbl.remove rep.registry service
+      else Hashtbl.replace rep.registry service rs);
+    (match Hashtbl.find_opt rep.sids service with
+    | None -> ()
+    | Some sid ->
+      Hashtbl.iter
+        (fun key slot ->
+          match slot.picked with
+          | Some r
+            when r.board = board && key land 0xffff = sid ->
+            slot.picked <- None;
+            rep.invalidations <- rep.invalidations + 1
+          | _ -> ())
+        rep.routes);
+    rep.reg_epoch <- rep.reg_epoch + 1
 
 (* An announcement made at cycle [c] becomes visible to reads strictly
    after [c + delay] — one delay for the wire, visible the next cycle —
@@ -203,6 +228,9 @@ let register t ~service ~board ~mac =
   announce t ~src:0 (U_register { service; board; mac })
 
 let unregister_board t board = announce t ~src:0 (U_unregister { board })
+
+let unregister t ~service ~board =
+  announce t ~src:0 (U_unregister_service { service; board })
 
 let report_failure t ?from_board ~board () =
   let src =

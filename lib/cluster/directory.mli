@@ -65,6 +65,12 @@ val unregister_board : t -> int -> unit
     it) — deliberate decommission or confirmed failure. Announced from
     the controller. *)
 
+val unregister : t -> service:string -> board:int -> unit
+(** Remove one (service, board) pair — a scheduler draining a single
+    replica off a live board. Sticky routes that picked this replica
+    are pruned; the board's other services are untouched. Announced
+    from the controller. *)
+
 val report_failure : t -> ?from_board:int -> board:int -> unit -> unit
 (** Caller-observed failure (e.g. remote-call timeout): same effect as
     {!unregister_board}, announced from the reporting board's own

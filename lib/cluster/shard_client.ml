@@ -65,6 +65,30 @@ let readmit_board t board =
   Shard.add t.ring board;
   Shard.Rr.add t.rr board
 
+(* Reconcile ring + round-robin membership with the scheduler's view of
+   which boards serve our service. Unlike drop_board this does not
+   report anything to the directory — membership changes here are
+   placement decisions, not failures. In-flight requests to a removed
+   board still complete (or time out) normally; only new issues follow
+   the updated membership. *)
+let sync_boards t boards =
+  let want = List.sort_uniq compare boards in
+  let have = List.sort compare (Shard.boards t.ring) in
+  List.iter
+    (fun b ->
+      if not (List.mem b have) then begin
+        Shard.add t.ring b;
+        Shard.Rr.add t.rr b
+      end)
+    want;
+  List.iter
+    (fun b ->
+      if not (List.mem b want) then begin
+        Shard.remove t.ring b;
+        Shard.Rr.remove t.rr b
+      end)
+    have
+
 let rec issue_work t work_id =
   let key, body = t.gen work_id in
   match pick_board t key with
@@ -172,12 +196,22 @@ let handle_frame t (f : Frame.t) =
       Span.finish
         ~args:[ ("status", Netproto.status_to_string rsp.Netproto.status) ]
         ~ts:(Sim.now t.sim) p.sid;
-      Stats.Histogram.record t.lat (Sim.now t.sim - p.issued_at);
-      t.completed <- t.completed + 1;
-      if rsp.Netproto.status <> Netproto.Ok_resp then
+      if rsp.Netproto.status <> Netproto.Ok_resp then begin
+        (* Service-level miss (e.g. Service_unavailable from a board
+           whose replica just moved away: its netsvc drops the stale
+           connection as it replies). Retryable by construction — back
+           off briefly and reissue the work item, so a placement change
+           never loses a request. *)
         t.errors <- t.errors + 1;
-      t.on_complete ~now:(Sim.now t.sim);
-      if t.running then fresh_work t)
+        Sim.after t.sim 64 (fun () ->
+            if t.running then issue_work t p.work_id)
+      end
+      else begin
+        Stats.Histogram.record t.lat (Sim.now t.sim - p.issued_at);
+        t.completed <- t.completed + 1;
+        t.on_complete ~now:(Sim.now t.sim);
+        if t.running then fresh_work t
+      end)
 
 let create ?(vnodes = 64) ?(timeout = 25_000) ?gbps cluster ~service ~op ~route
     ~gen =

@@ -37,8 +37,16 @@ val start : t -> concurrency:int -> unit
 val stop : t -> unit
 
 val issued : t -> int
+
 val completed : t -> int
+(** Successful ([Ok]) replies only. *)
+
 val errors : t -> int
+(** Transient failures the client retried: device backpressure, an
+    empty shard ring (no live boards — retried when one returns), or a
+    non-[Ok] reply (e.g. [Service_unavailable] from a board whose
+    replica just moved away). The work item is reissued in every case;
+    no request is lost. *)
 
 val failovers : t -> int
 (** Requests that timed out and were reissued to a survivor. *)
@@ -48,6 +56,13 @@ val live_boards : t -> int list
 
 val set_on_complete : t -> (now:int -> unit) -> unit
 (** Hook fired at each completion (e.g. to feed a {!Stats.Series}). *)
+
+val sync_boards : t -> int list -> unit
+(** Reconcile shard-ring and round-robin membership with a scheduler's
+    placement: boards in the list are admitted, boards not in it are
+    removed — without reporting anything to the directory (these are
+    placement changes, not failures). In-flight requests to a removed
+    board still complete; only new issues follow the new membership. *)
 
 val register_metrics : t -> unit
 (** Install an [Apiary_obs.Registry] sampler publishing this client's

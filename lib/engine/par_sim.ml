@@ -72,6 +72,28 @@ type t = {
 let global_stall_us = Atomic.make 0
 let total_barrier_stall_s () = float_of_int (Atomic.get global_stall_us) *. 1e-6
 
+(* Window-width accounting across every instance in the process, so the
+   bench harness can report adaptive-window behaviour per experiment.
+   Updated once per window; min/max via CAS (windows may be recorded
+   from a worker domain under Neighbor sync). *)
+let global_windows = Atomic.make 0
+let global_min_window = Atomic.make max_int
+let global_max_window = Atomic.make 0
+
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let total_window_stats () =
+  let n = Atomic.get global_windows in
+  ( n,
+    (if n = 0 then 0 else Atomic.get global_min_window),
+    Atomic.get global_max_window )
+
 (* Which partition the calling domain is currently executing, if any.
    Member code runs with its index set; coordinator code between windows
    runs with [None]. Replica-owned state (e.g. the cluster directory's
@@ -137,7 +159,10 @@ let window_stats t =
 let record_window t w =
   t.n_windows <- t.n_windows + 1;
   if w < t.min_window then t.min_window <- w;
-  if w > t.max_window then t.max_window <- w
+  if w > t.max_window then t.max_window <- w;
+  Atomic.incr global_windows;
+  atomic_min global_min_window w;
+  atomic_max global_max_window w
 
 let post t ~src ~dst ~time fn =
   let n = Array.length t.members in

@@ -112,6 +112,11 @@ val total_barrier_stall_s : unit -> float
 (** Process-wide barrier stall across all instances (atomic), for the
     bench harness's perf record. *)
 
+val total_window_stats : unit -> int * int * int
+(** [(count, min_width, max_width)] across all instances in the process
+    (atomic) — lets the bench harness attribute adaptive-window widths
+    per experiment by differencing the count around a run. *)
+
 val shutdown : t -> unit
 (** Join the worker domains (Par mode). Idempotent; workers are
     respawned if the instance is run again. Leaked workers are parked in

@@ -97,6 +97,23 @@ module Histogram = struct
 
   let record h v = record_n h v 1
   let count h = h.count
+
+  (* Samples at or below [v], at bucket resolution: a sample recorded as
+     [x <= v] always counts, one in [v]'s own bucket counts too (<= 3%
+     relative slack, same as [percentile]'s). SLO-attainment arithmetic
+     ("what fraction of requests beat the target") wants this cumulative
+     read, which percentiles can only bracket. *)
+  let count_le h v =
+    if h.count = 0 then 0
+    else if v >= h.max_v then h.count
+    else begin
+      let top = index_of (if v < 0 then 0 else v) in
+      let acc = ref 0 in
+      for i = 0 to top do
+        acc := !acc + h.buckets.(i)
+      done;
+      !acc
+    end
   let sum h = h.sum
   let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
   let max_value h = h.max_v

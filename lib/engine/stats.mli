@@ -54,6 +54,11 @@ module Histogram : sig
   val percentile : t -> float -> int
   (** [percentile h p] for [p] in [\[0,100\]]. Returns 0 when empty. *)
 
+  val count_le : t -> int -> int
+  (** Samples recorded at or below [v], at bucket resolution (≤ ~3%
+      relative slack, matching {!percentile}) — the cumulative read SLO
+      attainment needs. *)
+
   val stddev : t -> float
   val reset : t -> unit
 

@@ -1,0 +1,123 @@
+(* Pure placement arithmetic for the elastic scheduler. No simulator
+   state, no floats: decisions are total orders over integer tuples so
+   Seq and Par engine runs (and reruns) pick identical placements. *)
+
+type tenant = {
+  name : string;
+  cells : int;
+  state_bytes : int;
+  bitstream_bytes : int;
+  reservation : int;
+  max_replicas : int;
+  slo_cycles : int;
+  capacity_hint : int;
+}
+
+type board_caps = { board : int; tiles : int; slot_cells : int }
+type placement = (string * int list) list
+
+let fits c t = t.cells <= c.slot_cells
+
+let feasible ~caps t =
+  List.filter_map (fun c -> if fits c t then Some c.board else None) caps
+  |> List.sort compare
+
+let validate ~caps ~tenants placement =
+  let viol = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> viol := s :: !viol) fmt in
+  let cap b = List.find_opt (fun c -> c.board = b) caps in
+  let used = Hashtbl.create 8 in
+  List.iter
+    (fun (name, boards) ->
+      (match List.find_opt (fun t -> t.name = name) tenants with
+      | None -> bad "unknown tenant %s" name
+      | Some t ->
+        if List.length boards > t.max_replicas then
+          bad "%s: %d replicas exceed max %d" name (List.length boards)
+            t.max_replicas;
+        if List.length (List.sort_uniq compare boards) <> List.length boards
+        then bad "%s: duplicate board in placement" name;
+        List.iter
+          (fun b ->
+            match cap b with
+            | None -> bad "%s: placed on unknown board %d" name b
+            | Some c ->
+              if not (fits c t) then
+                bad "%s: %d cells exceed board %d slot budget %d" name t.cells
+                  b c.slot_cells)
+          boards);
+      List.iter
+        (fun b ->
+          Hashtbl.replace used b
+            (1 + Option.value ~default:0 (Hashtbl.find_opt used b)))
+        boards)
+    placement;
+  List.iter
+    (fun c ->
+      let u = Option.value ~default:0 (Hashtbl.find_opt used c.board) in
+      if u > c.tiles then
+        bad "board %d: %d replicas exceed %d tiles" c.board u c.tiles)
+    caps;
+  List.rev !viol
+
+let choose ~caps ~used ~load ~exclude t =
+  List.fold_left
+    (fun acc c ->
+      if (not (fits c t)) || used c.board >= c.tiles
+         || List.mem c.board exclude
+      then acc
+      else
+        let key = (load c.board, used c.board, c.board) in
+        match acc with
+        | Some (k, _) when k <= key -> acc
+        | _ -> Some (key, c.board))
+    None caps
+  |> Option.map snd
+
+let place ~caps ~targets ~current ~load =
+  let used = Hashtbl.create 8 in
+  let u b = Option.value ~default:0 (Hashtbl.find_opt used b) in
+  let take b = Hashtbl.replace used b (u b + 1) in
+  (* Pass 1: keep surviving replicas (board still present and still big
+     enough), lowest-load first, truncated to the target — shrinking a
+     tenant sheds its hottest boards. *)
+  let kept =
+    List.map
+      (fun ((t : tenant), target) ->
+        let cur = Option.value ~default:[] (List.assoc_opt t.name current) in
+        let keep =
+          List.filter
+            (fun b ->
+              match List.find_opt (fun c -> c.board = b) caps with
+              | Some c -> fits c t
+              | None -> false)
+            (List.sort_uniq compare cur)
+        in
+        let keep =
+          List.sort (fun a b -> compare (load a, a) (load b, b)) keep
+        in
+        let keep = List.filteri (fun i _ -> i < target) keep in
+        List.iter take keep;
+        (t, target, ref keep))
+      targets
+  in
+  (* Pass 2: grow each tenant to its target on the emptiest feasible
+     boards; tenants are served in [targets] order, so reservations
+     listed first win contended capacity. *)
+  let shortfall = ref [] in
+  List.iter
+    (fun (t, target, keep) ->
+      let rec fill () =
+        if List.length !keep < target then
+          match choose ~caps ~used:u ~load ~exclude:!keep t with
+          | Some b ->
+            take b;
+            keep := !keep @ [ b ];
+            fill ()
+          | None ->
+            shortfall := (t.name, target - List.length !keep) :: !shortfall
+      in
+      fill ())
+    kept;
+  ( List.map (fun (t, _, keep) -> (t.name, List.sort compare !keep)) kept,
+    List.rev !shortfall )

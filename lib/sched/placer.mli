@@ -1,0 +1,75 @@
+(** The placement engine: pure bin-packing of tenant replicas onto the
+    rack's tiles under the {!Apiary_resource} area model.
+
+    A {e tenant} is one accelerator context class (its per-replica logic
+    cells, context-swap state and PR bitstream size, plus its contract:
+    a replica reservation, a replica cap, and an SLO). A board offers
+    [tiles] schedulable slots of [slot_cells] logic cells each — the
+    [slot_logic_cells] of that board's {!Apiary_resource.Floorplan.plan}
+    — so heterogeneous parts make the area constraint bite: a tenant
+    whose [cells] exceed a small part's slot simply cannot land there.
+
+    Everything here is deterministic integer arithmetic over explicit
+    inputs; the stateful scheduler ({!Sched}) feeds it live loads and
+    applies its outputs. *)
+
+type tenant = {
+  name : string;
+  cells : int;  (** logic cells one replica's slot must provide *)
+  state_bytes : int;  (** context-swap payload moved by a migration *)
+  bitstream_bytes : int;  (** partial bitstream loaded per placement *)
+  reservation : int;  (** replicas the tenant is always entitled to *)
+  max_replicas : int;
+  slo_cycles : int;  (** request latency bound the autoscaler defends *)
+  capacity_hint : int;
+      (** rough ops one replica serves per autoscaler epoch — the
+          utilization yardstick for scale-down decisions *)
+}
+
+type board_caps = {
+  board : int;
+  tiles : int;  (** schedulable slots *)
+  slot_cells : int;  (** logic cells per slot (floorplan budget) *)
+}
+
+type placement = (string * int list) list
+(** Tenant name -> boards hosting one replica each (sorted, no dups). *)
+
+val fits : board_caps -> tenant -> bool
+(** Area check: one replica of the tenant fits one of the board's slots. *)
+
+val feasible : caps:board_caps list -> tenant -> int list
+(** Boards whose slots are large enough for the tenant, in id order. *)
+
+val validate :
+  caps:board_caps list -> tenants:tenant list -> placement -> string list
+(** Violations of the resource model ([] = valid): unknown tenants or
+    boards, replicas over [max_replicas], duplicate boards per tenant,
+    area overflows, and boards hosting more replicas than tiles. *)
+
+val choose :
+  caps:board_caps list ->
+  used:(int -> int) ->
+  load:(int -> int) ->
+  exclude:int list ->
+  tenant ->
+  int option
+(** Best board for one new replica: feasible, has a free tile, not in
+    [exclude] (boards already hosting the tenant); minimizes
+    [(load, used tiles, board id)] — deterministic with int loads. *)
+
+val place :
+  caps:board_caps list ->
+  targets:(tenant * int) list ->
+  current:placement ->
+  load:(int -> int) ->
+  placement * (string * int) list
+(** Full placement: for each [(tenant, wanted)] keep the lowest-load
+    [wanted] of its current replicas that are still on live, feasible
+    boards, then grow to [wanted] with {!choose}. Stability-preserving
+    (replicas never move unless their board vanished or shrank away)
+    and greedy in [targets] order, so earlier tenants win contended
+    capacity — callers list reservations before elastic growth.
+    Returns the placement plus per-tenant shortfalls; a shortfall
+    implies every feasible board was full or already hosting the
+    tenant. *)

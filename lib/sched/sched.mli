@@ -1,0 +1,156 @@
+(** The elastic multi-tenant scheduler: a rack-controller service that
+    places accelerator contexts onto tiles ({!Placer}), migrates hot
+    tenants between boards with context-swap + partial reconfiguration,
+    and autoscales replica counts against each tenant's SLO — the
+    cluster-level "OS scheduler" the paper's multi-tenancy story implies
+    (§4.1 replicated accelerators, §6-Q3 rack-scale OS functionality).
+
+    {2 Control and telemetry planes}
+
+    All scheduler state lives on the rack controller (member 0 of a
+    partitioned engine). Telemetry flows {e up} as raw-Ethernet beacons
+    on the boards' uplinks: each board periodically reads its own
+    {!Apiary_core.Statsvc} counter blocks and emits a compact load
+    report (board busy/message deltas plus per-tile message deltas), and
+    an {!Apiary_core.Health} watchdog per board turns stuck-tile and
+    router-congestion alarms into alarm frames. Commands flow {e down}
+    through {!Apiary_cluster.Cluster.post_to_board} with at least one
+    uplink of latency — the same staging protocol as frames and
+    directory announcements — so partitioned runs are byte-identical to
+    monolithic ones. A killed board's beacons die at its downed switch
+    port; staleness is exactly what the controller should see.
+
+    {2 Decisions}
+
+    - {b Placement}: initial replicas at each tenant's reservation, bin
+      packed under the floorplan area model.
+    - {b Autoscale}: per epoch, a tenant whose SLO attainment (measured
+      on its watched {!Apiary_cluster.Shard_client}) stays below target
+      — or whose per-replica throughput saturates its capacity hint —
+      for [up_epochs] gains a replica if capacity exists ({e never} by
+      evicting another tenant; denied growth is logged as a [defer]).
+      Sustained low utilization sheds replicas down to the reservation.
+    - {b Migration}: a board that is congestion-alarmed or beyond
+      [hot_load] sheds its busiest tenant to a board under [cold_load],
+      make-before-break: install on the destination (state transfer +
+      PR modelled as deterministic cycle costs), cut the directory and
+      client rings over once active, drain, then reconfigure the old
+      tile to an idle slot and reclaim it.
+    - {b Failure}: on {!Apiary_cluster.Cluster.report_down} (the rack
+      watchdog's alarm path) the dead board's replicas are struck and
+      displaced tenants re-placed on survivors immediately.
+
+    Every decision is cycle-stamped into a log ({!decisions_json} is
+    byte-stable), mirrored as [sched.*] registry counters and, when
+    span tracing is on, as ["sched"]-category instants. *)
+
+module Shell := Apiary_core.Shell
+module Cluster := Apiary_cluster.Cluster
+module Shard_client := Apiary_cluster.Shard_client
+
+type config = {
+  report_period : int;  (** cycles between board load beacons *)
+  epoch : int;  (** cycles between autoscale/migration evaluations *)
+  up_epochs : int;  (** consecutive bad epochs before scaling up *)
+  down_epochs : int;  (** consecutive idle epochs before scaling down *)
+  slo_target_pct : int;  (** required SLO attainment, percent *)
+  hi_util_pct : int;  (** per-replica demand (as % of capacity hint) treated as saturation *)
+  lo_util_pct : int;  (** per-replica demand below this % is idle *)
+  min_samples : int;  (** completions per epoch below which attainment is not judged *)
+  hot_load : int;  (** board msgs/beacon above which it sheds load *)
+  cold_load : int;  (** board msgs/beacon below which it accepts migrations *)
+  cooldown : int;  (** min cycles between migrations of one tenant *)
+  drain_delay : int;
+      (** cycles a cut-over replica keeps serving before its tile is
+          reclaimed; keep above the shard clients' request timeout so
+          in-flight work drains (zero lost requests) *)
+  margin : int;  (** slack added to modelled install/PR completion times *)
+  pr_bytes_per_cycle : int;
+      (** must match the boards' kernel config (default 8) — the
+          controller predicts PR completion with the same constant *)
+  max_migrations_per_epoch : int;
+}
+
+val default_config : config
+(** beacons every 1000, epoch 20_000, 2 up / 3 down epochs, 99% SLO
+    target, 90/25% utilization bands, hot 2000 / cold 800 msgs/beacon,
+    cooldown 60_000, drain 30_000, margin 128, PR 8 B/cycle, 1
+    migration per epoch. *)
+
+type t
+
+val create : ?config:config -> Cluster.t -> slot_cells:(int -> int) -> t
+(** Attach a scheduler to the rack: adds a controller NIC for telemetry
+    and snapshots each board's free tiles as its schedulable slots.
+    [slot_cells board] is the per-slot logic-cell budget (a
+    {!Apiary_resource.Floorplan.plan}'s [slot_logic_cells]) — boards
+    built from different parts get different budgets. Boards the
+    scheduler manages must receive {e all} their installs through it. *)
+
+val add_tenant :
+  t -> spec:Placer.tenant -> behavior:(unit -> Shell.behavior) -> unit
+(** Declare a tenant before {!start}. [behavior] builds a fresh replica
+    behavior per placement (it must register [spec.name] with the
+    board kernel on boot, as {!Apiary_accel.Accels} behaviors do). *)
+
+val watch : t -> tenant:string -> Shard_client.t -> unit
+(** Bind the tenant's external load generator: the autoscaler reads its
+    completion counters and latency histogram, and every placement
+    change re-syncs its shard ring so traffic follows the placement. *)
+
+val start : t -> unit
+(** Place initial replicas (each tenant at its reservation, in
+    [add_tenant] order), arm board beacons and health watchdogs, and
+    subscribe to the cluster's failure/recovery announcements. Call
+    after tenants are declared and clients watched, before running the
+    engine. *)
+
+(** {1 Introspection} *)
+
+type decision = {
+  d_cycle : int;
+  d_kind : string;
+      (** [place], [scale_up], [scale_down], [migrate], [replace],
+          [defer], [abort], [board_down] *)
+  d_tenant : string;  (** ["-"] for board-level events *)
+  d_board : int;  (** destination board, [-1] when not applicable *)
+  d_src : int;  (** migration source board, [-1] otherwise *)
+  d_note : string;
+}
+
+type totals = {
+  placements : int;  (** initial placements + scale-ups + replacements *)
+  migrations : int;
+  scale_ups : int;
+  scale_downs : int;  (** voluntary replica evictions (to reservation) *)
+  deferred : int;  (** growth denied for lack of capacity *)
+  replaced : int;  (** replicas re-placed after a board death *)
+  slo_violations : int;  (** tenant-epochs below the attainment target *)
+}
+
+val decisions : t -> decision list
+(** Oldest first. *)
+
+val decisions_json : t -> string
+(** The decision log as a JSON array (cycle-stamped only — byte-stable
+    across identical runs and engine modes). *)
+
+val totals : t -> totals
+
+val replicas : t -> tenant:string -> int
+(** Currently serving replicas. *)
+
+val placement : t -> tenant:string -> int list
+(** Boards currently serving the tenant, ascending. *)
+
+val replica_cycles : t -> tenant:string -> now:int -> int
+(** Integral of serving replicas over time up to [now] — divide by the
+    run length for average provisioned replicas. *)
+
+val board_load : t -> int -> int
+(** Last beaconed message delta for a board (the controller's view). *)
+
+val register_metrics : t -> unit
+(** Install an [Apiary_obs.Registry] sampler publishing per-tenant
+    replica gauges and per-board load gauges under [sched.*] (decision
+    counters are maintained under [sched.<kind>] as they happen). *)
