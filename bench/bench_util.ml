@@ -126,6 +126,8 @@ type perf_record = {
   pr_wall_s : float;
   pr_cycles : int;
   pr_skipped : int;  (* cycles fast-forwarded through quiescence *)
+  pr_active_ticks : int;  (* ticker invocations actually executed *)
+  pr_skipped_ticks : int;  (* ticker invocations elided while parked *)
   pr_stall_s : float;  (* barrier stall (parallel engine only) *)
   pr_windows : int;  (* adaptive sync windows executed during the run *)
   pr_win_min : int;  (* narrowest/widest window width so far, process-wide *)
@@ -141,6 +143,8 @@ let timed id f () =
   else begin
     let cycles0 = Sim.total_cycles () in
     let skipped0 = Sim.total_skipped () in
+    let active_t0 = Sim.total_active_ticks () in
+    let skipped_t0 = Sim.total_skipped_ticks () in
     let stall0 = Par_sim.total_barrier_stall_s () in
     let windows0, _, _ = Par_sim.total_window_stats () in
     let t0 = Unix.gettimeofday () in
@@ -157,6 +161,8 @@ let timed id f () =
         pr_wall_s = dt;
         pr_cycles = Sim.total_cycles () - cycles0;
         pr_skipped = Sim.total_skipped () - skipped0;
+        pr_active_ticks = Sim.total_active_ticks () - active_t0;
+        pr_skipped_ticks = Sim.total_skipped_ticks () - skipped_t0;
         pr_stall_s = Par_sim.total_barrier_stall_s () -. stall0;
         pr_windows = windows1 - windows0;
         pr_win_min = win_min;
@@ -182,11 +188,11 @@ let write_perf_json path =
   List.iteri
     (fun i r ->
       Printf.fprintf oc
-        "    {\"id\": \"%s\", \"wall_s\": %.3f, \"sim_cycles\": %d, \"cycles_per_s\": %.0f, \"skipped_cycles\": %d%s}%s\n"
+        "    {\"id\": \"%s\", \"wall_s\": %.3f, \"sim_cycles\": %d, \"cycles_per_s\": %.0f, \"skipped_cycles\": %d, \"active_ticks\": %d, \"skipped_ticks\": %d%s}%s\n"
         r.pr_id r.pr_wall_s r.pr_cycles
         (if r.pr_wall_s > 0.0 then float_of_int r.pr_cycles /. r.pr_wall_s
          else 0.0)
-        r.pr_skipped
+        r.pr_skipped r.pr_active_ticks r.pr_skipped_ticks
         ((if r.pr_stall_s > 0.0 then
             Printf.sprintf ", \"barrier_stall_s\": %.3f" r.pr_stall_s
           else "")
@@ -239,14 +245,16 @@ let print_profile () =
     | rows ->
       subhead "ticker profile (APIARY_PROF)";
       table
-        [ "ticker"; "calls"; "seconds"; "ns/call" ]
+        [ "ticker"; "calls"; "skipped"; "seconds"; "ns/call" ]
         (List.map
            (fun name ->
              let calls = int_of_float (gauge "calls" name) in
+             let skipped = int_of_float (gauge "skipped" name) in
              let seconds = gauge "seconds" name in
              [
                name;
                commas calls;
+               commas skipped;
                Printf.sprintf "%.3f" seconds;
                f1 (seconds *. 1e9 /. float_of_int (max 1 calls));
              ])

@@ -35,8 +35,16 @@ let with_rack ~boards ~clients ~duration body =
      then engine-independent. *)
   match (if !obs_enabled then `Off else par_mode ()) with
   | `Boards ->
+    (* APIARY_DOMAINS caps the domain fan-out below the member count;
+       the engine's busiest-first work stealing then keeps the smaller
+       domain pool fed. Unset, every member gets its own domain. *)
+    let domains =
+      match Sys.getenv_opt "APIARY_DOMAINS" with
+      | Some s -> ( try max 1 (int_of_string s) with _ -> boards + 1)
+      | None -> boards + 1
+    in
     let eng =
-      Par_sim.create ~mode:Par_sim.Par ~adaptive:true
+      Par_sim.create ~mode:Par_sim.Par ~adaptive:true ~domains
         ~lookahead:Cluster.lookahead ~n:(boards + 1) ()
     in
     let sim = Par_sim.sim eng 0 in

@@ -10,11 +10,25 @@
    are skipped (sub-second experiments whose rate is pure noise), as are
    experiments present in only one file.
 
+   A second, machine-independent check guards the activity-set
+   scheduler: [active_ticks] (ticker invocations actually executed) is a
+   deterministic function of the workload, so when baseline and current
+   ran the same [sim_cycles] the current count may not exceed the
+   baseline by more than 10% + 1000 calls. A regression here means
+   tickers stopped parking (idle-skipping broke) even if the wall-clock
+   guard still passes on a fast runner. Skipped when either side lacks
+   the field (old baselines) or the cycle counts differ (resized runs).
+
    The parser handles exactly the format bench_util.write_perf_json
    emits — one record per line — not general JSON; both inputs come
    from our own harness. *)
 
-type rec_t = { id : string; sim_cycles : int; cycles_per_s : float }
+type rec_t = {
+  id : string;
+  sim_cycles : int;
+  cycles_per_s : float;
+  active_ticks : int option;
+}
 
 let field_str line key =
   let pat = Printf.sprintf "\"%s\": \"" key in
@@ -69,7 +83,10 @@ let parse path =
          let cycles_per_s =
            Option.value ~default:0.0 (field_num line "cycles_per_s")
          in
-         out := { id; sim_cycles; cycles_per_s } :: !out
+         let active_ticks =
+           Option.map int_of_float (field_num line "active_ticks")
+         in
+         out := { id; sim_cycles; cycles_per_s; active_ticks } :: !out
      done
    with End_of_file -> ());
   close_in ic;
@@ -108,7 +125,25 @@ let () =
         Printf.printf
           "perf-guard: %-6s %s  baseline %.2e cyc/s, current %.2e, floor %.2e (x%.2f)\n"
           b.id verdict b.cycles_per_s c.cycles_per_s floor threshold;
-        if c.cycles_per_s < floor then incr failures)
+        if c.cycles_per_s < floor then incr failures;
+        (* Deterministic activity guard: same simulated span must not
+           execute meaningfully more ticker calls than the baseline. *)
+        (match (b.active_ticks, c.active_ticks) with
+        | Some ba, Some ca when b.sim_cycles = c.sim_cycles ->
+          let cap = ba + (ba / 10) + 1000 in
+          if ca > cap then begin
+            Printf.printf
+              "perf-guard: %-6s ACTIVITY REGRESSION  baseline %d active ticks, \
+               current %d (cap %d)\n"
+              b.id ba ca cap;
+            incr failures
+          end
+          else
+            Printf.printf
+              "perf-guard: %-6s activity ok  baseline %d active ticks, current \
+               %d (cap %d)\n"
+              b.id ba ca cap
+        | _ -> ()))
     baseline;
   if !failures > 0 then begin
     Printf.printf "perf-guard: %d experiment(s) regressed >%.0f%% below baseline\n"

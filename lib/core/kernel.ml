@@ -41,6 +41,7 @@ type t = {
   k_trace : Trace.t;
   k_flight : Apiary_obs.Flight.t;
   monitors : Monitor.t array;
+  quad_regions : int array;  (* activity subregion id per tile quadrant *)
   unregister_names : int -> unit;
   mutable fault_subs : (int -> string -> unit) list;
   mutable fault_log : (int * string) list;
@@ -95,6 +96,9 @@ let total_msgs t =
 
 let total_dropped t =
   Array.fold_left (fun acc m -> acc + Monitor.dropped m) 0 t.monitors
+
+let quadrant_activity t =
+  Array.map (fun r -> Sim.region_active t.k_sim r) t.quad_regions
 
 let set_obs_board t id =
   Trace.set_board t.k_trace id;
@@ -196,6 +200,16 @@ let create sim cfg =
         { cfg.monitor with rate = 1e9; burst = 1 lsl 20 }
       else cfg.monitor
   in
+  (* Tile-quadrant activity subregions: every monitor joins its tile's
+     quadrant, so board introspection reads four aggregate activity bits
+     instead of scanning tiles, and a whole quiet quadrant parks. *)
+  let quad_regions = Array.init 4 (fun _ -> Sim.new_region sim) in
+  let quad_of tile =
+    let c = coord_of tile in
+    let qx = if 2 * c.Coord.x >= cfg.mesh.Mesh.cols then 1 else 0 in
+    let qy = if 2 * c.Coord.y >= cfg.mesh.Mesh.rows then 1 else 0 in
+    quad_regions.((qy * 2) + qx)
+  in
   let monitors =
     Array.init ntiles (fun tile ->
         let privileged = tile = cfg.name_tile || tile = cfg.mem_tile in
@@ -204,8 +218,8 @@ let create sim cfg =
           else if tile = cfg.mem_tile then mem_behavior
           else Monitor.idle_behavior
         in
-        Monitor.create sim ~tile (monitor_cfg_of tile) (fabric_of tile)
-          ~trace:k_trace ~flight:k_flight ~privileged behavior)
+        Monitor.create ~region:(quad_of tile) sim ~tile (monitor_cfg_of tile)
+          (fabric_of tile) ~trace:k_trace ~flight:k_flight ~privileged behavior)
   in
   monitors_ref := monitors;
   (* NoC delivery -> monitor ingress. *)
@@ -224,6 +238,7 @@ let create sim cfg =
       k_trace;
       k_flight;
       monitors;
+      quad_regions;
       unregister_names;
       fault_subs = [];
       fault_log = [];

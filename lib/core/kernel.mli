@@ -95,6 +95,12 @@ val total_denied : t -> int
 val total_msgs : t -> int
 val total_dropped : t -> int
 
+val quadrant_activity : t -> int array
+(** Armed-ticker count in each tile quadrant's activity subregion
+    ([NW; NE; SW; SE]): a 4-bit-style board occupancy summary read from
+    the scheduler's aggregate region counters instead of scanning
+    tiles. *)
+
 (** {1 Observability} *)
 
 val set_obs_board : t -> int -> unit

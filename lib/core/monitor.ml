@@ -115,6 +115,9 @@ and t = {
   mutable last_progress : int;
       (* last cycle this monitor moved a message (egress admit or rx
          delivery) — what the health layer's heartbeat deadline watches *)
+  mutable m_handle : Sim.handle;
+      (* our ticker in the activity-set scheduler, re-armed on ingress,
+         egress visibility and reset *)
 }
 
 let idle_behavior =
@@ -556,6 +559,9 @@ let raise_fault t reason = fault t (Printf.sprintf "accelerator fault: %s" reaso
 
 let reset t b =
   t.m_state <- Running;
+  (* A parked Draining/Offline monitor must tick again once reprogrammed
+     (the new behavior may have on_tick work before any message lands). *)
+  Sim.rearm t.m_sim t.m_handle;
   t.behavior <- b;
   t.busy_until <- 0;
   t.hang_cycles <- 0;
@@ -623,6 +629,9 @@ let ingress t (m : Message.t) =
     nack t m "fail-stop"
   | Offline -> trace_msg t Trace.Dropped m
   | Running ->
+    (* Whatever this message triggers (rx work, a reply continuation, a
+       control response), the next tick must see it. *)
+    Sim.rearm t.m_sim t.m_handle;
     Perf.incr t.perf Perf.msgs_in;
     trace_msg t Trace.Ingress m;
     if m.Message.is_reply then deliver_reply t m
@@ -701,7 +710,7 @@ let tick t =
       Sim.Busy
     end
 
-let create sim ~tile cfg fabric ~trace ?flight ~privileged behavior =
+let create ?region sim ~tile cfg fabric ~trace ?flight ~privileged behavior =
   let flight =
     match flight with Some f -> f | None -> Apiary_obs.Flight.create ()
   in
@@ -738,9 +747,13 @@ let create sim ~tile cfg fabric ~trace ?flight ~privileged behavior =
       lat_added = Stats.Histogram.create (Printf.sprintf "mon%d.added-latency" tile);
       hang_cycles = 0;
       last_progress = 0;
+      m_handle = Sim.no_handle;
     }
   in
-  Sim.add_clocked ~name:"monitor" sim (fun () -> tick t);
+  t.m_handle <- Sim.add_clocked_h ~name:"monitor" ?region sim (fun () -> tick t);
+  (* Egress entries becoming visible (commit) re-arm us so a parked
+     monitor drains sends staged from events or external driver code. *)
+  Array.iter (fun q -> Fifo.set_owner q t.m_handle) t.egress;
   (* Capture the behavior now: if the slot is reprogrammed before boot
      fires, the stale boot must not run the new behavior a second time. *)
   Sim.after sim 1 (fun () -> if t.behavior == behavior then behavior.on_boot t);

@@ -68,12 +68,12 @@ type fabric = {
 }
 
 val create :
-  Sim.t -> tile:int -> config -> fabric -> trace:Trace.t ->
+  ?region:int -> Sim.t -> tile:int -> config -> fabric -> trace:Trace.t ->
   ?flight:Apiary_obs.Flight.t -> privileged:bool -> behavior -> t
-(** Create the monitor and register its tick. [on_boot] runs in the event
-    phase of the next cycle. [flight] is the board's shared flight
-    recorder (the kernel passes its own); a private disabled one is used
-    when omitted. *)
+(** Create the monitor and register its tick (in activity subregion
+    [region], if given). [on_boot] runs in the event phase of the next
+    cycle. [flight] is the board's shared flight recorder (the kernel
+    passes its own); a private disabled one is used when omitted. *)
 
 (** {1 Identity and state} *)
 

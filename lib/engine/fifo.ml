@@ -17,6 +17,9 @@ type 'a t = {
   mutable n_staged : int;
   mutable dirty : bool;
   mutable commit : unit -> unit;
+  (* Consumer ticker re-armed whenever entries become visible (commit or
+     inject), so a parked consumer cannot miss a delivery. *)
+  mutable owner : Sim.handle;
 }
 
 let ceil_pow2 n =
@@ -54,6 +57,7 @@ let create sim ?(capacity = max_int) name =
       n_staged = 0;
       dirty = false;
       commit = (fun () -> ());
+      owner = Sim.no_handle;
     }
   in
   t.commit <-
@@ -66,9 +70,14 @@ let create sim ?(capacity = max_int) name =
           t.ring.((t.head + t.len + i) land t.mask) <- t.staged.(i)
         done;
         t.len <- t.len + n;
-        t.n_staged <- 0
+        t.n_staged <- 0;
+        (* The entries become visible next cycle (commit phase runs after
+           tickers), which is exactly when the re-arm takes effect. *)
+        Sim.rearm t.sim t.owner
       end);
   t
+
+let set_owner t h = t.owner <- h
 
 let name t = t.name
 let capacity t = t.capacity
@@ -121,7 +130,10 @@ let inject t x =
   if is_full t then failwith (Printf.sprintf "Fifo.inject: %s full" t.name);
   grow_ring t 1 x;
   t.ring.((t.head + t.len) land t.mask) <- x;
-  t.len <- t.len + 1
+  t.len <- t.len + 1;
+  (* Injections run in the event phase: the consumer may (and under the
+     flat scheduler would) observe the entry this very cycle. *)
+  Sim.rearm t.sim t.owner
 
 let clear t =
   (* A pending dirty entry stays enlisted; its commit finds an empty

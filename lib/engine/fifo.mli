@@ -18,6 +18,12 @@ val create : Sim.t -> ?capacity:int -> string -> 'a t
 val name : 'a t -> string
 val capacity : 'a t -> int
 
+val set_owner : 'a t -> Sim.handle -> unit
+(** Register the consuming ticker's handle: it is re-armed whenever
+    entries become visible (at commit, and on {!inject}), so a parked
+    consumer is guaranteed to see every delivery. Default
+    {!Sim.no_handle} (no re-arm). *)
+
 val push : 'a t -> 'a -> bool
 (** Stage a value for commit at end of cycle. Returns [false] (and drops
     nothing) when the queue, counting staged entries, is full. *)

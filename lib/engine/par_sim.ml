@@ -46,7 +46,15 @@ type t = {
   sync : sync;
   adaptive : bool;
   lookahead : int;
+  domains : int;  (* OS domains used under Par (coordinator included) *)
   members : member array;
+  (* Barrier+Par window execution: members are pulled from a shared
+     steal queue instead of being pinned one-per-domain. [steal_order]
+     lists member indices busiest-first (by armed-ticker count) and
+     [steal_next] is the pull cursor. Written by the coordinator before
+     the epoch opens; the epoch handshake publishes them. *)
+  steal_order : int array;
+  steal_next : int Atomic.t;
   (* Single-producer staging: member s appends to scratch.(s).(d) during
      its window. Barrier: the coordinator collects them at the barrier.
      Neighbor: member s seals them into mail.(s).(d) under the lock at
@@ -103,10 +111,16 @@ let part_key = Domain.DLS.new_key (fun () -> None)
 let current_partition () = Domain.DLS.get part_key
 let set_part v = Domain.DLS.set part_key v
 
-let create ?(mode = Seq) ?(sync = Barrier) ?(adaptive = false) ~lookahead ~n ()
-    =
+let create ?(mode = Seq) ?(sync = Barrier) ?(adaptive = false) ?domains
+    ~lookahead ~n () =
   if lookahead < 1 then invalid_arg "Par_sim.create: lookahead must be >= 1";
   if n < 1 then invalid_arg "Par_sim.create: n must be >= 1";
+  let domains =
+    match domains with None -> n | Some d -> max 1 (min d n)
+  in
+  if mode = Par && sync = Neighbor && domains < n then
+    invalid_arg
+      "Par_sim.create: Neighbor sync pins one domain per member (domains = n)";
   let members =
     Array.init n (fun i ->
         let msim = Sim.create () in
@@ -120,7 +134,10 @@ let create ?(mode = Seq) ?(sync = Barrier) ?(adaptive = false) ~lookahead ~n ()
     sync;
     adaptive;
     lookahead;
+    domains;
     members;
+    steal_order = Array.init n (fun i -> i);
+    steal_next = Atomic.make 0;
     scratch = Array.init n (fun _ -> Array.init n (fun _ -> ref []));
     mail = Array.init n (fun _ -> Array.init n (fun _ -> ref []));
     done_upto = Array.make n 0;
@@ -148,6 +165,7 @@ let mode t = t.mode
 let sync t = t.sync
 let adaptive t = t.adaptive
 let n_domains t = Array.length t.members
+let domains_used t = t.domains
 let lookahead t = t.lookahead
 let sim t i = t.members.(i).msim
 let now t = t.clock
@@ -343,8 +361,27 @@ let member_loop t i target =
   set_part None
 
 (* ------------------------------------------------------------------ *)
-(* Par mode: persistent worker per member 1..n-1; member 0 runs on the
-   coordinator so an n-way partition uses exactly n domains. *)
+(* Par mode. Neighbor sync pins one persistent worker per member 1..n-1
+   (member 0 runs on the coordinator). Barrier sync spawns
+   [domains - 1] workers and every participant — coordinator included —
+   pulls members off the shared steal queue, so an imbalanced partition
+   (one busy stripe, many quiescent ones) keeps all domains fed and a
+   board count larger than the core count still runs every member. *)
+
+let steal_loop t target =
+  let n = Array.length t.members in
+  let continue_ = ref true in
+  while !continue_ do
+    let k = Atomic.fetch_and_add t.steal_next 1 in
+    if k >= n then continue_ := false
+    else begin
+      let i = t.steal_order.(k) in
+      set_part (Some i);
+      Fun.protect
+        ~finally:(fun () -> set_part None)
+        (fun () -> Sim.run_until t.members.(i).msim target)
+    end
+  done
 
 let worker t i () =
   let sh = t.sh in
@@ -362,16 +399,14 @@ let worker t i () =
       (match t.sync with
       | Neighbor -> member_loop t i target
       | Barrier -> (
-        set_part (Some i);
-        (try Sim.run_until t.members.(i).msim target
-         with e ->
-           Mutex.lock sh.lock;
-           if sh.failure = None then sh.failure <- Some e;
-           Mutex.unlock sh.lock);
-        set_part None));
+        try steal_loop t target
+        with e ->
+          Mutex.lock sh.lock;
+          if sh.failure = None then sh.failure <- Some e;
+          Mutex.unlock sh.lock));
       Mutex.lock sh.lock;
       sh.n_done <- sh.n_done + 1;
-      if sh.n_done = Array.length t.members - 1 then Condition.broadcast sh.cond;
+      if sh.n_done = t.domains - 1 then Condition.broadcast sh.cond;
       Mutex.unlock sh.lock;
       loop ()
     end
@@ -379,12 +414,10 @@ let worker t i () =
   loop ()
 
 let ensure_workers t =
-  if Array.length t.workers = 0 && Array.length t.members > 1 then begin
+  if Array.length t.workers = 0 && t.domains > 1 then begin
     t.sh.quit <- false;
     t.workers <-
-      Array.init
-        (Array.length t.members - 1)
-        (fun i -> Domain.spawn (worker t (i + 1)))
+      Array.init (t.domains - 1) (fun i -> Domain.spawn (worker t (i + 1)))
   end
 
 let shutdown t =
@@ -412,7 +445,7 @@ let wait_workers t =
   let sh = t.sh in
   let t0 = Profile.now_s () in
   Mutex.lock sh.lock;
-  while sh.n_done < Array.length t.members - 1 do
+  while sh.n_done < t.domains - 1 do
     Condition.wait sh.cond sh.lock
   done;
   let failure = sh.failure in
@@ -437,11 +470,33 @@ let run_window_seq t wend =
           Sim.run_until m.msim wend)
         t.members)
 
+(* Busiest members first: a window's wall-clock is the slowest domain,
+   so big members must not be picked up last. Armed-ticker counts are a
+   cheap deterministic proxy for a member's per-cycle work. Which domain
+   ends up running which member does not affect results — members are
+   isolated within a window — so the steal schedule is free to vary. *)
+let refresh_steal_order t =
+  let n = Array.length t.members in
+  let act = Array.map (fun m -> Sim.active_tickers m.msim) t.members in
+  let ord = t.steal_order in
+  for i = 0 to n - 1 do
+    ord.(i) <- i
+  done;
+  Array.sort
+    (fun a b ->
+      let c = compare act.(b) act.(a) in
+      if c <> 0 then c else compare a b)
+    ord;
+  Atomic.set t.steal_next 0
+
 let run_window_par t wend =
+  refresh_steal_order t;
   open_epoch t wend;
-  Fun.protect
-    ~finally:(fun () -> set_part None)
-    (fun () -> Sim.run_until t.members.(0).msim wend);
+  (try steal_loop t wend
+   with e ->
+     Mutex.lock t.sh.lock;
+     if t.sh.failure = None then t.sh.failure <- Some e;
+     Mutex.unlock t.sh.lock);
   wait_workers t
 
 let run_barrier t time =

@@ -59,19 +59,32 @@ type sync =
   | Neighbor  (** neighbor-only waits on the fixed lookahead grid *)
 
 val create :
-  ?mode:mode -> ?sync:sync -> ?adaptive:bool -> lookahead:int -> n:int ->
-  unit -> t
+  ?mode:mode -> ?sync:sync -> ?adaptive:bool -> ?domains:int ->
+  lookahead:int -> n:int -> unit -> t
 (** [create ~mode ~sync ~adaptive ~lookahead ~n ()] makes [n] member
     simulators (accessible via {!sim}). [lookahead >= 1]; [n >= 1].
     Defaults: [Seq], [Barrier], non-adaptive. [adaptive] only affects
     [Barrier] sync. Member 0 is the {e counted} simulator: only its
     cycles feed {!Sim.total_cycles}, so a partitioned simulation reports
-    its simulated time once. *)
+    its simulated time once.
+
+    [domains] caps the OS domains used under [Par] (default [n], clamped
+    to [1..n]). Under [Barrier] sync each window's members are pulled
+    from a shared work-stealing queue ordered busiest-first (by
+    {!Sim.active_tickers}), the coordinator stealing alongside the
+    workers — so imbalanced partitions keep every domain fed and [n]
+    may exceed the machine's core count. Results are byte-identical for
+    every [domains] value. [Neighbor] sync pins one domain per member;
+    [Par] + [Neighbor] with [domains < n] raises [Invalid_argument]. *)
 
 val mode : t -> mode
 val sync : t -> sync
 val adaptive : t -> bool
 val n_domains : t -> int
+
+val domains_used : t -> int
+(** OS domains a [Par] run will occupy (coordinator included). *)
+
 val lookahead : t -> int
 
 val sim : t -> int -> Sim.t

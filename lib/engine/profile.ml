@@ -1,4 +1,9 @@
-type row = { name : string; mutable calls : int; mutable seconds : float }
+type row = {
+  name : string;
+  mutable calls : int;
+  mutable skipped : int;
+  mutable seconds : float;
+}
 
 let on = lazy (Sys.getenv_opt "APIARY_PROF" <> None)
 let enabled () = Lazy.force on
@@ -10,7 +15,7 @@ let lock = Mutex.create ()
 let rows : row list ref = ref []
 
 let register name =
-  let r = { name; calls = 0; seconds = 0.0 } in
+  let r = { name; calls = 0; skipped = 0; seconds = 0.0 } in
   Mutex.lock lock;
   rows := r :: !rows;
   Mutex.unlock lock;
@@ -25,19 +30,22 @@ let snapshot () =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun r ->
-      let c, s =
-        Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl r.name)
+      let c, k, s =
+        Option.value ~default:(0, 0, 0.0) (Hashtbl.find_opt tbl r.name)
       in
-      Hashtbl.replace tbl r.name (c + r.calls, s +. r.seconds))
+      Hashtbl.replace tbl r.name (c + r.calls, k + r.skipped, s +. r.seconds))
     all;
-  let agg = Hashtbl.fold (fun name (c, s) acc -> (name, c, s) :: acc) tbl [] in
-  List.sort (fun (_, _, a) (_, _, b) -> compare b a) agg
+  let agg =
+    Hashtbl.fold (fun name (c, k, s) acc -> (name, c, k, s) :: acc) tbl []
+  in
+  List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) agg
 
 let reset () =
   Mutex.lock lock;
   List.iter
     (fun r ->
       r.calls <- 0;
+      r.skipped <- 0;
       r.seconds <- 0.0)
     !rows;
   Mutex.unlock lock

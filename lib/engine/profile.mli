@@ -1,9 +1,10 @@
 (** Opt-in hot-path profiling for the simulation engine.
 
     When [APIARY_PROF] is set in the environment, {!Sim.add_clocked}
-    wraps every clocked component so each tick is counted and
-    wall-timed, attributed to the component's registered name. The
-    bench harness ([--perf]) prints the aggregate so perf work can see
+    counts and wall-times every tick, attributed to the component's
+    registered name, and tracks how many eligible cycles the
+    activity-set scheduler let the component *skip* entirely. The bench
+    harness ([--perf]) prints the aggregate so perf work can see
     {e where} cycles go, not just how many were simulated.
 
     When [APIARY_PROF] is unset, registration returns inert rows and
@@ -18,6 +19,8 @@
 type row = {
   name : string;
   mutable calls : int;  (** ticks executed *)
+  mutable skipped : int;
+      (** eligible cycles the ticker was parked and not called *)
   mutable seconds : float;  (** cumulative wall time inside the ticker *)
 }
 
@@ -31,9 +34,9 @@ val register : string -> row
 val now_s : unit -> float
 (** Wall clock in seconds (monotonic enough for cumulative deltas). *)
 
-val snapshot : unit -> (string * int * float) list
-(** [(name, calls, seconds)] aggregated over same-named rows, sorted by
-    cumulative seconds, largest first. *)
+val snapshot : unit -> (string * int * int * float) list
+(** [(name, calls, skipped, seconds)] aggregated over same-named rows,
+    sorted by cumulative seconds, largest first. *)
 
 val reset : unit -> unit
 (** Zero every registered row (keeps registrations). *)

@@ -2,12 +2,51 @@ type activity = Busy | Idle | Idle_until of int
 
 type event = { time : int; seq : int; fn : unit -> unit }
 
+type handle = int
+
+let no_handle = -1
+
+(* A clocked component under the activity-set scheduler. [armed] means
+   the ticker is scheduled to run (it is in the run list, the rearm
+   staging area, or the current-cycle rearm heap); parked tickers carry
+   their pending [Idle_until] wake in [wake] ([max_int] = none), which
+   doubles as the staleness check for lazy deletion from the time
+   heap. *)
+type ticker = {
+  fn : unit -> activity;
+  region : int;
+  row : Profile.row option;
+  reg_clock : int;  (* first cycle this ticker was eligible to run *)
+  mutable armed : bool;
+  mutable wake : int;
+}
+
 type t = {
   mutable clock : int;
   events : event Heap.t;
   mutable next_seq : int;
-  mutable tickers : (unit -> activity) array;
+  mutable tickers : ticker array;
   mutable n_tickers : int;
+  (* Armed tickers scheduled for the next executed cycle, as a sorted
+     array of indices. The tick loop merges [run] with [wake_now] in
+     ascending index order and double-buffers Busy survivors into
+     [run_next], which therefore stays sorted. *)
+  mutable run : int array;
+  mutable n_run : int;
+  mutable run_next : int array;
+  (* Re-arms that must take effect on the cycle currently being built:
+     [wake_next] is the staging area drained into the [wake_now] heap at
+     the top of each tick loop; during the loop, re-arms targeting a
+     not-yet-reached index are pushed straight into [wake_now] so they
+     still run this cycle (matching the flat scheduler, where a later
+     ticker always observed an earlier ticker's writes in-cycle). *)
+  wake_now : int Heap.t;
+  mutable wake_next : int array;
+  mutable n_wake_next : int;
+  (* Pending [Idle_until] wakes as [(wake_cycle, idx)]; entries are
+     lazily discarded when the ticker was re-armed (or re-parked) in the
+     meantime. *)
+  time_heap : (int * int) Heap.t;
   mutable committers : (unit -> unit) array;
   mutable n_committers : int;
   mutable dirty_fns : (unit -> unit) array;
@@ -15,15 +54,37 @@ type t = {
   mutable stop_requested : bool;
   mutable in_event_phase : bool;
   mutable in_tick_phase : bool;
+  (* Index of the ticker currently executing, -1 outside the tick loop;
+     [self_rearm] records a re-arm a ticker aimed at itself mid-tick so
+     an Idle report afterwards does not lose the wake-up. *)
+  mutable cur_idx : int;
+  mutable self_rearm : bool;
   mutable quiescent : bool;
-  mutable next_wake : int;
   mutable skipped : int;
   mutable counted : bool;
+  (* Subregions: armed-ticker count per region (the aggregate activity
+     bit is [count > 0]) plus the member list for bulk re-arm. *)
+  mutable region_armed : int array;
+  mutable region_members : int list array;
+  mutable n_regions : int;
+  (* Tick accounting: ticker calls actually executed, plus enough state
+     to derive skipped ticks in O(1) and flush process-wide deltas. *)
+  mutable active_ticks : int;
+  mutable sum_reg_clock : int;
+  mutable flushed_active : int;
+  mutable flushed_skipped_ticks : int;
+  profiling : bool;
 }
 
 let cmp_event a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
+
+let cmp_wake (w1, i1) (w2, i2) =
+  let c = compare (w1 : int) w2 in
+  if c <> 0 then c else compare (i1 : int) i2
+
+let cmp_int (a : int) (b : int) = compare a b
 
 (* Total simulated cycles advanced (executed + fast-forwarded) across all
    simulator instances, including instances driven from other domains —
@@ -36,13 +97,39 @@ let total_cycles () = Atomic.get global
 let global_skipped = Atomic.make 0
 let total_skipped () = Atomic.get global_skipped
 
+(* Ticker calls executed vs ticker calls the activity-set scheduler
+   avoided, across all instances. Unlike the cycle counters these are
+   not [counted]-gated: each member of a partitioned run does real,
+   distinct tick work. *)
+let global_active_ticks = Atomic.make 0
+let total_active_ticks () = Atomic.get global_active_ticks
+let global_skipped_ticks = Atomic.make 0
+let total_skipped_ticks () = Atomic.get global_skipped_ticks
+
+let dummy_ticker =
+  {
+    fn = (fun () -> Idle);
+    region = 0;
+    row = None;
+    reg_clock = 0;
+    armed = false;
+    wake = max_int;
+  }
+
 let create () =
   {
     clock = 0;
     events = Heap.create ~cmp:cmp_event;
     next_seq = 0;
-    tickers = Array.make 8 (fun () -> Idle);
+    tickers = Array.make 8 dummy_ticker;
     n_tickers = 0;
+    run = Array.make 8 0;
+    n_run = 0;
+    run_next = Array.make 8 0;
+    wake_now = Heap.create ~cmp:cmp_int;
+    wake_next = Array.make 8 0;
+    n_wake_next = 0;
+    time_heap = Heap.create ~cmp:cmp_wake;
     committers = Array.make 8 (fun () -> ());
     n_committers = 0;
     dirty_fns = Array.make 8 (fun () -> ());
@@ -50,15 +137,25 @@ let create () =
     stop_requested = false;
     in_event_phase = false;
     in_tick_phase = false;
+    cur_idx = -1;
+    self_rearm = false;
     quiescent = false;
-    next_wake = max_int;
     skipped = 0;
     counted = true;
+    region_armed = Array.make 4 0;
+    region_members = Array.make 4 [];
+    n_regions = 1;
+    active_ticks = 0;
+    sum_reg_clock = 0;
+    flushed_active = 0;
+    flushed_skipped_ticks = 0;
+    profiling = Profile.enabled ();
   }
 
 let now t = t.clock
 let cycles_skipped t = t.skipped
-let wake t = t.quiescent <- false
+let tick_counts t =
+  (t.active_ticks, (t.n_tickers * t.clock) - t.sum_reg_clock - t.active_ticks)
 
 (* A Par_sim partition counts its cycles once, through its coordinator,
    not once per member domain. *)
@@ -106,27 +203,94 @@ let push_fn arr n fn =
   arr.(n) <- fn;
   arr
 
-let add_clocked ?(name = "clocked") t fn =
-  (* APIARY_PROF: count and wall-time every tick, attributed to [name].
-     The wrapper exists only when profiling is on; the default tick path
-     is unchanged. *)
-  let fn =
-    if not (Profile.enabled ()) then fn
-    else begin
-      let row = Profile.register name in
-      fun () ->
-        let t0 = Profile.now_s () in
-        let a = fn () in
-        row.Profile.calls <- row.Profile.calls + 1;
-        row.Profile.seconds <- row.Profile.seconds +. (Profile.now_s () -. t0);
-        a
-    end
-  in
-  t.tickers <- push_fn t.tickers t.n_tickers fn;
-  t.n_tickers <- t.n_tickers + 1;
-  t.quiescent <- false
+let push_wake_next t idx =
+  if t.n_wake_next >= Array.length t.wake_next then begin
+    let narr = Array.make (Array.length t.wake_next * 2) 0 in
+    Array.blit t.wake_next 0 narr 0 t.n_wake_next;
+    t.wake_next <- narr
+  end;
+  t.wake_next.(t.n_wake_next) <- idx;
+  t.n_wake_next <- t.n_wake_next + 1
+
+let bump_region t r d = t.region_armed.(r) <- t.region_armed.(r) + d
+
+(* ------------------------------------------------------------------ *)
+(* Subregions. *)
+
+let new_region t =
+  let r = t.n_regions in
+  if r >= Array.length t.region_armed then begin
+    let na = Array.make (Array.length t.region_armed * 2) 0 in
+    Array.blit t.region_armed 0 na 0 t.n_regions;
+    t.region_armed <- na;
+    let nm = Array.make (Array.length t.region_members * 2) [] in
+    Array.blit t.region_members 0 nm 0 t.n_regions;
+    t.region_members <- nm
+  end;
+  t.n_regions <- r + 1;
+  r
+
+let n_regions t = t.n_regions
+let region_active t r = t.region_armed.(r)
+
+(* ------------------------------------------------------------------ *)
+(* Registration and re-arming. *)
+
+let add_clocked_h ?(name = "clocked") ?(region = 0) t fn =
+  if region < 0 || region >= t.n_regions then
+    invalid_arg "Sim.add_clocked_h: unknown region";
+  let row = if t.profiling then Some (Profile.register name) else None in
+  (* A ticker registered during the event phase (or between runs) is
+     eligible from the current cycle — the flat scheduler's snapshot was
+     taken after events — while one registered from the tick/commit
+     phases starts next cycle. The wake staging area reproduces both:
+     it is drained at the top of the tick loop. *)
+  let reg_clock = if t.in_tick_phase then t.clock + 1 else t.clock in
+  let tk = { fn; region; row; reg_clock; armed = true; wake = max_int } in
+  let idx = t.n_tickers in
+  t.tickers <- push_fn t.tickers idx tk;
+  t.n_tickers <- idx + 1;
+  t.sum_reg_clock <- t.sum_reg_clock + reg_clock;
+  t.region_members.(region) <- idx :: t.region_members.(region);
+  bump_region t region 1;
+  push_wake_next t idx;
+  t.quiescent <- false;
+  idx
+
+let add_clocked ?name ?region t fn = ignore (add_clocked_h ?name ?region t fn)
 
 let add_ticker ?name t fn = add_clocked ?name t (fun () -> fn (); Busy)
+
+let rearm t h =
+  if h >= 0 then begin
+    let tk = t.tickers.(h) in
+    if tk.armed then begin
+      if h = t.cur_idx then t.self_rearm <- true
+    end
+    else begin
+      tk.armed <- true;
+      tk.wake <- max_int;
+      bump_region t tk.region 1;
+      t.quiescent <- false;
+      (* During the tick loop a re-arm aimed past the merge cursor still
+         runs this cycle; everything else (event phase, commit phase,
+         already-passed indices, external callers) lands next cycle —
+         exactly the visibility the flat per-cycle loop gave. *)
+      if t.cur_idx >= 0 && h > t.cur_idx then Heap.push t.wake_now h
+      else push_wake_next t h
+    end
+  end
+
+let rearm_region t r =
+  List.iter (fun idx -> rearm t idx) t.region_members.(r)
+
+let wake t =
+  for idx = 0 to t.n_tickers - 1 do
+    rearm t idx
+  done;
+  t.quiescent <- false
+
+let active_tickers t = t.n_run + t.n_wake_next + Heap.length t.wake_now
 
 let add_committer t fn =
   t.committers <- push_fn t.committers t.n_committers fn;
@@ -137,6 +301,9 @@ let mark_dirty t fn =
   t.dirty_fns <- push_fn t.dirty_fns t.n_dirty fn;
   t.n_dirty <- t.n_dirty + 1;
   t.quiescent <- false
+
+(* ------------------------------------------------------------------ *)
+(* Stepping. *)
 
 let run_due_events t =
   t.in_event_phase <- true;
@@ -152,52 +319,159 @@ let run_due_events t =
   loop ();
   t.in_event_phase <- false
 
+(* Arm every parked ticker whose [Idle_until] wake is due, discarding
+   stale heap entries (ticker re-armed or re-parked since the push). *)
+let drain_due_wakes t =
+  let continue_ = ref true in
+  while !continue_ do
+    match Heap.peek t.time_heap with
+    | Some (w, idx) when w <= t.clock ->
+      ignore (Heap.pop t.time_heap);
+      let tk = t.tickers.(idx) in
+      if (not tk.armed) && tk.wake = w then begin
+        tk.armed <- true;
+        tk.wake <- max_int;
+        bump_region t tk.region 1;
+        push_wake_next t idx
+      end
+    | _ -> continue_ := false
+  done
+
+(* Earliest valid [Idle_until] wake, pruning stale entries. *)
+let rec next_time_wake t =
+  match Heap.peek t.time_heap with
+  | None -> max_int
+  | Some (w, idx) ->
+    let tk = t.tickers.(idx) in
+    if tk.armed || tk.wake <> w then begin
+      ignore (Heap.pop t.time_heap);
+      next_time_wake t
+    end
+    else w
+
+let run_ticker tk =
+  match tk.row with
+  | None -> tk.fn ()
+  | Some r ->
+    let t0 = Profile.now_s () in
+    let a = tk.fn () in
+    r.Profile.calls <- r.Profile.calls + 1;
+    r.Profile.seconds <- r.Profile.seconds +. (Profile.now_s () -. t0);
+    a
+
 let step t =
+  drain_due_wakes t;
   run_due_events t;
   t.in_tick_phase <- true;
-  let all_idle = ref true in
-  let wake_at = ref max_int in
-  (* Snapshot: a ticker registered during this phase starts next cycle
-     (registration also clears [quiescent], so no wake-up is missed). *)
-  let tickers = t.tickers and n = t.n_tickers in
-  for i = 0 to n - 1 do
-    match tickers.(i) () with
-    | Busy -> all_idle := false
-    | Idle -> ()
-    | Idle_until w -> if w < !wake_at then wake_at := w
+  (* Stage pending re-arms for this cycle. *)
+  for k = 0 to t.n_wake_next - 1 do
+    Heap.push t.wake_now t.wake_next.(k)
   done;
-  let committed = t.n_dirty > 0 in
-  (* Live loop: commit functions must not stage new two-phase writes. *)
+  t.n_wake_next <- 0;
+  (* Only tickers present at loop entry can run this cycle, so the
+     survivor buffer needs capacity for exactly those. *)
+  if Array.length t.run_next < t.n_tickers then
+    t.run_next <- Array.make (max 8 (2 * t.n_tickers)) 0;
+  let run = t.run and n = t.n_run in
+  let nxt = t.run_next in
+  let n_nxt = ref 0 in
+  let ncalled = ref 0 in
   let i = ref 0 in
-  while !i < t.n_dirty do
-    t.dirty_fns.(!i) ();
-    incr i
+  let continue_ = ref true in
+  while !continue_ do
+    let a = if !i < n then run.(!i) else max_int in
+    let b = match Heap.peek t.wake_now with Some x -> x | None -> max_int in
+    if a = max_int && b = max_int then continue_ := false
+    else begin
+      let idx = if a <= b then a else b in
+      if a <= b then incr i;
+      if b <= a then ignore (Heap.pop t.wake_now);
+      t.cur_idx <- idx;
+      t.self_rearm <- false;
+      let tk = t.tickers.(idx) in
+      incr ncalled;
+      let act = run_ticker tk in
+      let act =
+        match act with
+        | (Idle | Idle_until _) when t.self_rearm -> Busy
+        | a -> a
+      in
+      match act with
+      | Busy ->
+        nxt.(!n_nxt) <- idx;
+        incr n_nxt
+      | Idle ->
+        tk.armed <- false;
+        bump_region t tk.region (-1)
+      | Idle_until w ->
+        tk.armed <- false;
+        bump_region t tk.region (-1);
+        tk.wake <- w;
+        Heap.push t.time_heap (w, idx)
+    end
+  done;
+  t.cur_idx <- -1;
+  t.self_rearm <- false;
+  t.active_ticks <- t.active_ticks + !ncalled;
+  (* Double-buffer swap: survivors become next cycle's run list. *)
+  t.run <- nxt;
+  t.n_run <- !n_nxt;
+  t.run_next <- run;
+  let committed = t.n_dirty > 0 in
+  (* Live loop: commit functions must not stage new two-phase writes
+     (they may re-arm parked consumers, which lands next cycle). *)
+  let j = ref 0 in
+  while !j < t.n_dirty do
+    t.dirty_fns.(!j) ();
+    incr j
   done;
   t.n_dirty <- 0;
-  for i = 0 to t.n_committers - 1 do
-    t.committers.(i) ()
+  for k = 0 to t.n_committers - 1 do
+    t.committers.(k) ()
   done;
   t.in_tick_phase <- false;
-  t.quiescent <- !all_idle && (not committed) && t.n_committers = 0;
-  t.next_wake <- !wake_at;
+  t.quiescent <-
+    t.n_run = 0 && t.n_wake_next = 0 && (not committed) && t.n_committers = 0;
   t.clock <- t.clock + 1
 
 let stop t = t.stop_requested <- true
 let stopped t = t.stop_requested
+
+(* Flush per-instance counters into the process-wide totals, and (when
+   profiling) derive each row's skipped-tick count: eligible cycles
+   since registration minus calls executed. *)
+let flush_tick_totals t =
+  let skipped_total =
+    (t.n_tickers * t.clock) - t.sum_reg_clock - t.active_ticks
+  in
+  ignore
+    (Atomic.fetch_and_add global_active_ticks (t.active_ticks - t.flushed_active));
+  ignore
+    (Atomic.fetch_and_add global_skipped_ticks
+       (skipped_total - t.flushed_skipped_ticks));
+  t.flushed_active <- t.active_ticks;
+  t.flushed_skipped_ticks <- skipped_total;
+  if t.profiling then
+    for i = 0 to t.n_tickers - 1 do
+      let tk = t.tickers.(i) in
+      match tk.row with
+      | Some r -> r.Profile.skipped <- t.clock - tk.reg_clock - r.Profile.calls
+      | None -> ()
+    done
 
 let run_until t time =
   t.stop_requested <- false;
   let entry_clock = t.clock in
   let entry_skipped = t.skipped in
   while t.clock < time && not t.stop_requested do
-    (* Fast-forward across gaps where every clocked component is
-       quiescent and no two-phase state is pending commit: jump to the
-       next heap event or the earliest Idle_until wake-up. *)
+    (* Fast-forward across gaps where every clocked component is parked
+       or quiescent and no two-phase state is pending commit: jump to
+       the next heap event or the earliest Idle_until wake-up. *)
     if t.quiescent then begin
       let next =
         match Heap.peek t.events with
-        | Some e -> min e.time t.next_wake
-        | None -> t.next_wake
+        | Some e -> min e.time (next_time_wake t)
+        | None -> next_time_wake t
       in
       let next = min next time in
       if next > t.clock then begin
@@ -210,7 +484,8 @@ let run_until t time =
   if t.counted then begin
     ignore (Atomic.fetch_and_add global (t.clock - entry_clock));
     ignore (Atomic.fetch_and_add global_skipped (t.skipped - entry_skipped))
-  end
+  end;
+  flush_tick_totals t
 
 let run_for t n = run_until t (t.clock + n)
 let pending_events t = Heap.length t.events
@@ -224,8 +499,8 @@ let next_activity t =
   else begin
     let next =
       match Heap.peek t.events with
-      | Some e -> min e.time t.next_wake
-      | None -> t.next_wake
+      | Some e -> min e.time (next_time_wake t)
+      | None -> next_time_wake t
     in
     if next < t.clock then t.clock else next
   end

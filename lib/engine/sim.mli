@@ -15,23 +15,50 @@
     producer→consumer hop costs at least one cycle, and results do not
     depend on component registration order.
 
+    {2 The activity-set scheduler}
+
+    Clocked components report an {!activity} after each tick. A [Busy]
+    ticker stays in the {e active set} and runs again next cycle. A
+    ticker reporting [Idle]/[Idle_until] is {e parked}: it is not called
+    at all — zero cost per cycle — until something re-arms it:
+
+    - its [Idle_until] wake cycle is reached (a wake-heap fires it);
+    - a {!Fifo} it consumes commits or receives an injected entry (the
+      FIFO's registered owner handle is re-armed);
+    - a component re-arms it explicitly via {!rearm} (e.g. NIC send,
+      monitor ingress), or {!wake} re-arms everything.
+
+    Re-arm timing preserves the flat-scheduler semantics exactly: a
+    re-arm from the event phase runs the ticker the same cycle; a re-arm
+    from an earlier-indexed ticker runs it the same cycle (it would have
+    observed the write anyway); a re-arm from a later-indexed ticker or
+    the commit phase runs it next cycle (the write was not visible to it
+    this cycle under two-phase rules).
+
+    Tickers can be grouped into {e subregions} (a board's tile quadrant,
+    a mesh column) via the [?region] argument; each region keeps an
+    armed-ticker count whose zero/non-zero state is the aggregate
+    activity bit, readable via {!region_active} and bulk re-armable via
+    {!rearm_region}. A fully parked region costs nothing per cycle even
+    while the rest of the board runs cycle-by-cycle.
+
     {2 Quiescence and idle fast-forward}
 
-    Clocked components registered with {!add_clocked} report an
-    {!activity} after each tick. When a cycle ends with every clocked
-    component idle, nothing committed, and no always-run committers
-    registered, the simulator is {e quiescent}: ticking further cycles
-    would be a pure no-op until the next heap event (or the earliest
-    [Idle_until] wake-up) fires. [run_until] then jumps the clock
-    directly to that point instead of stepping through dead cycles.
-    Skipped cycles are observationally identical to executed ones, so a
-    run remains a pure function of its inputs (bit-identical results,
-    same event order, same RNG streams).
+    When a cycle ends with the active set empty, nothing committed, and
+    no always-run committers registered, the simulator is {e quiescent}:
+    ticking further cycles would be a pure no-op until the next heap
+    event or the earliest [Idle_until] wake fires. [run_until] then
+    jumps the clock directly to that point instead of stepping through
+    dead cycles. Skipped and parked cycles are observationally identical
+    to executed ones, so a run remains a pure function of its inputs
+    (bit-identical results, same event order, same RNG streams).
 
-    The contract for an [Idle] report: until the next event phase runs or
-    a two-phase commit occurs, calling this ticker again would change no
-    state. Components that consume entropy or count every cycle (traffic
-    generators, watchdogs with pending work) must report [Busy]. *)
+    The contract for an [Idle] report: until this ticker is re-armed
+    (owner-FIFO commit/inject, explicit {!rearm}/{!wake}, or its
+    [Idle_until] cycle), calling it again would change no state.
+    Components that consume entropy or count every cycle must either
+    report [Busy] or precompute their future (see {!Traffic}) and report
+    an honest [Idle_until]. *)
 
 type t
 
@@ -39,12 +66,20 @@ type t
 type activity =
   | Busy  (** Did work, or may do work next cycle — keep stepping. *)
   | Idle
-      (** No work possible until an event fires or a FIFO commit occurs;
-          the simulator may fast-forward past this component. *)
+      (** No work possible until re-armed (owner-FIFO commit/inject,
+          explicit {!rearm}, {!wake}); the scheduler parks this
+          component and stops calling it. *)
   | Idle_until of int
       (** Like [Idle], but the component can act on its own at the given
-          cycle (timer expiry, token-bucket refill) even without external
-          stimulus. *)
+          cycle (timer expiry, token-bucket refill, precomputed
+          injection) even without external stimulus. *)
+
+type handle
+(** Identifies a registered clocked component for re-arming. *)
+
+val no_handle : handle
+(** Inert handle: {!rearm} on it is a no-op. Lets producers hold an
+    optional owner without boxing. *)
 
 val create : unit -> t
 
@@ -68,17 +103,47 @@ val every : t -> ?start:int -> int -> (unit -> unit) -> unit
 (** [every t ~start period f] runs [f] in the event phase each [period]
     cycles, first at cycle [start] (default: next multiple of [period]). *)
 
-val add_clocked : ?name:string -> t -> (unit -> activity) -> unit
+val add_clocked : ?name:string -> ?region:int -> t -> (unit -> activity) -> unit
 (** Register a per-cycle clocked component (phase 2). The callback runs
-    every executed cycle and reports its {!activity}; reports drive the
-    idle fast-forward (see module docs). [name] labels the component in
-    {!Profile} output when [APIARY_PROF] is set; when profiling is off
-    the name is discarded and the tick path is unchanged. *)
+    every cycle while in the active set and reports its {!activity};
+    [Idle]/[Idle_until] reports park it (see module docs). [name] labels
+    the component in {!Profile} output when [APIARY_PROF] is set; when
+    profiling is off the name is discarded and the tick path is
+    unchanged. [region] attaches the ticker to a subregion created with
+    {!new_region} (default: region 0, always present). *)
+
+val add_clocked_h :
+  ?name:string -> ?region:int -> t -> (unit -> activity) -> handle
+(** Like {!add_clocked} but returns the component's {!handle} so
+    producers (FIFOs, NIC send paths, monitor ingress) can re-arm it. *)
 
 val add_ticker : ?name:string -> t -> (unit -> unit) -> unit
 (** [add_ticker t f] is [add_clocked t (fun () -> f (); Busy)]: a legacy
     always-active ticker. Its presence disables idle fast-forward, since
     the simulator must assume it does work every cycle. *)
+
+val rearm : t -> handle -> unit
+(** Put a parked component back in the active set ({!no_handle} and
+    already-armed handles are no-ops). Timing follows the re-arm rules
+    in the module docs; any pending [Idle_until] wake is superseded. *)
+
+val new_region : t -> int
+(** Allocate a subregion id for [?region] at registration. Region 0
+    exists from creation and is the default. *)
+
+val n_regions : t -> int
+
+val region_active : t -> int -> int
+(** Number of armed (active-set) tickers in the region — the region's
+    aggregate activity bit is [region_active t r > 0]. *)
+
+val rearm_region : t -> int -> unit
+(** Re-arm every parked ticker in the region (bulk {!rearm}). *)
+
+val active_tickers : t -> int
+(** Current size of the active set (armed tickers scheduled for the next
+    executed cycle). {!Par_sim}'s work stealing orders partitions by
+    this load estimate. *)
 
 val add_committer : t -> (unit -> unit) -> unit
 (** Register an always-run commit step (phase 3). Prefer {!mark_dirty}:
@@ -91,13 +156,15 @@ val mark_dirty : t -> (unit -> unit) -> unit
     outside a cycle). Two-phase containers call this on their first
     staged write of a cycle; the commit phase then walks only dirty
     containers — O(containers written) rather than O(all containers).
-    [commit] must not stage new two-phase writes. *)
+    [commit] must not stage new two-phase writes (it may {!rearm} parked
+    consumers, which lands next cycle). *)
 
 val wake : t -> unit
-(** Clear the quiescent flag. Components mutated directly from outside
-    the simulation loop (e.g. {!Nic.send} between runs) call this so the
-    next [run_until] cannot fast-forward past the new work. FIFO pushes
-    wake the simulator automatically via {!mark_dirty}. *)
+(** Re-arm {e every} parked component and clear the quiescent flag.
+    Components mutated directly from outside the simulation loop call
+    this (or better, {!rearm} on the specific handle) so the next
+    [run_until] cannot fast-forward past the new work. FIFO pushes wake
+    the simulator automatically via {!mark_dirty}. *)
 
 val step : t -> unit
 (** Advance exactly one cycle (never fast-forwards). *)
@@ -129,6 +196,12 @@ val cycles_skipped : t -> int
 (** Cycles fast-forwarded (not executed) since creation — for tests and
     perf reporting. *)
 
+val tick_counts : t -> int * int
+(** [(active, skipped)] ticker-call counts for this instance: calls
+    actually executed vs calls the activity-set scheduler avoided
+    (parked tickers during executed cycles, plus every ticker during
+    fast-forwarded cycles). *)
+
 val total_cycles : unit -> int
 (** Simulated cycles advanced across {e all} counted simulator instances
     in the process (atomic; safe under domain-parallel sweeps). Executed
@@ -138,6 +211,16 @@ val total_cycles : unit -> int
 val total_skipped : unit -> int
 (** Cycles fast-forwarded (not executed) across all counted instances —
     with {!total_cycles}, gives the process-wide skipped-cycle ratio. *)
+
+val total_active_ticks : unit -> int
+(** Ticker calls executed across all instances (flushed at each
+    [run_until] exit). Not [counted]-gated: every partition member's
+    tick work is real and counted once. *)
+
+val total_skipped_ticks : unit -> int
+(** Ticker calls avoided by the activity-set scheduler across all
+    instances — with {!total_active_ticks}, gives the idle-skipping
+    ratio the perf guard watches. *)
 
 val set_counted : t -> bool -> unit
 (** Whether this instance's cycles feed {!total_cycles}/{!total_skipped}

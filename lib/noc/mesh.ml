@@ -42,6 +42,7 @@ type 'a t = {
   hops : Stats.Histogram.t array;
   sent : int array;  (* per stripe *)
   delivered : int array;
+  col_regions : int array;  (* activity subregion id per mesh column *)
   mutable obs_board : int;  (* board id stamped on Span events; -1 = none *)
 }
 
@@ -105,6 +106,17 @@ let packets_delivered t = sum t.delivered
 let flits_routed t = Array.fold_left (fun a r -> a + Router.flits_routed r) 0 t.routers
 
 let tx_backlog t = Array.fold_left (fun a n -> a + Nic.tx_backlog n) 0 t.nics
+
+(* Armed (active-set) tickers per mesh column — the per-column aggregate
+   activity bits of the hierarchical scheduler. *)
+let column_activity t =
+  Array.init t.cfg.cols (fun x ->
+      Sim.region_active
+        t.sims.(t.stripe_of_tile.(Coord.to_index ~cols:t.cfg.cols { Coord.x; y = 0 }))
+        t.col_regions.(x))
+
+let active_columns t =
+  Array.fold_left (fun a n -> if n > 0 then a + 1 else a) 0 (column_activity t)
 
 let neighbor t (c : Coord.t) (p : Port.t) : Coord.t option =
   let c' =
@@ -201,9 +213,19 @@ let create ?engine sim cfg =
   let stripe_of_tile =
     Array.init n (fun i -> stripe_of_col (Coord.of_index ~cols:cfg.cols i).Coord.x)
   in
+  (* One activity subregion per mesh column (in the stripe sim that owns
+     the column): the column's routers + NICs share an aggregate
+     activity bit, so a fully quiescent column reads as zero armed
+     tickers while its neighbours run cycle-by-cycle. *)
+  let col_regions =
+    Array.init cfg.cols (fun x -> Sim.new_region sims.(stripe_of_col x))
+  in
+  let region_of_tile i =
+    col_regions.((Coord.of_index ~cols:cfg.cols i).Coord.x)
+  in
   let routers =
     Array.init n (fun i ->
-        Router.create
+        Router.create ~region:(region_of_tile i)
           sims.(stripe_of_tile.(i))
           ~coord:(Coord.of_index ~cols:cfg.cols i)
           ~vcs:cfg.vcs ~depth:cfg.depth ~routing:cfg.routing ~qos:cfg.qos)
@@ -211,8 +233,9 @@ let create ?engine sim cfg =
   let nics =
     Array.mapi
       (fun i r ->
-        Nic.create sims.(stripe_of_tile.(i)) ~router:r ~depth:cfg.depth
-          ~qos:cfg.qos)
+        Nic.create ~region:(region_of_tile i)
+          sims.(stripe_of_tile.(i))
+          ~router:r ~depth:cfg.depth ~qos:cfg.qos)
       routers
   in
   let t =
@@ -233,6 +256,7 @@ let create ?engine sim cfg =
       hops = Array.init nstripes (fun _ -> Stats.Histogram.create "noc.hops");
       sent = Array.make nstripes 0;
       delivered = Array.make nstripes 0;
+      col_regions;
       obs_board = -1;
     }
   in
@@ -284,6 +308,9 @@ let register_metrics t ~prefix =
       Stats.Gauge.set
         (Registry.gauge (prefix ^ ".noc.delivered"))
         (float_of_int (packets_delivered t));
+      Stats.Gauge.set
+        (Registry.gauge (prefix ^ ".noc.active_cols"))
+        (float_of_int (active_columns t));
       Registry.register (prefix ^ ".noc.latency")
         (Registry.Histogram (latency t));
       Registry.register (prefix ^ ".noc.hops")

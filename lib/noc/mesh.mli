@@ -93,3 +93,10 @@ val flits_routed : 'a t -> int
 
 val tx_backlog : 'a t -> int
 (** Total packets queued or in flight across all NICs (drain check). *)
+
+val column_activity : 'a t -> int array
+(** Armed (active-set) tickers per mesh column — each column is an
+    activity subregion of its stripe's simulator. *)
+
+val active_columns : 'a t -> int
+(** Number of columns whose subregion activity bit is set (armed > 0). *)

@@ -18,6 +18,7 @@ type 'a t = {
   mutable injected : int;
   mutable delivered : int;
   mutable rr_cls : int;  (* fair rotation over classes when QoS is off *)
+  mutable handle : Sim.handle;  (* our ticker, re-armed on send/eject *)
 }
 
 let coord t = Router.coord t.router
@@ -32,9 +33,10 @@ let clamp t cls =
 
 let send t pkt =
   Queue.add pkt t.tx.(clamp t pkt.Packet.cls);
-  (* Sends can arrive from outside the simulation loop (driver code
-     between runs); make sure fast-forward cannot jump past them. *)
-  Sim.wake t.sim
+  (* Sends can arrive from a monitor's tick, an event, or driver code
+     between runs; re-arm just this NIC (not the whole simulator) so
+     parking and fast-forward cannot jump past the new work. *)
+  Sim.rearm t.sim t.handle
 
 let set_rx t cb = t.rx_cb <- cb
 
@@ -135,7 +137,7 @@ let tick t =
     Sim.Busy
   end
 
-let create sim ~router ~depth ~qos =
+let create ?region sim ~router ~depth ~qos =
   let vcs = Router.vcs router in
   let c = Router.coord router in
   let ej_occ = ref 0 in
@@ -159,6 +161,7 @@ let create sim ~router ~depth ~qos =
       injected = 0;
       delivered = 0;
       rr_cls = 0;
+      handle = Sim.no_handle;
     }
   in
   (* Wire the router's Local outputs to our ejection buffers, with credit
@@ -178,5 +181,8 @@ let create sim ~router ~depth ~qos =
           if !pending = 0 then Sim.mark_dirty sim drain;
           incr pending))
     eject;
-  Sim.add_clocked ~name:"noc.nic" sim (fun () -> tick t);
+  let h = Sim.add_clocked_h ~name:"noc.nic" ?region sim (fun () -> tick t) in
+  t.handle <- h;
+  (* Flits landing in the ejection buffers re-arm the NIC. *)
+  Array.iter (fun chan -> Fifo.set_owner chan.Router.buf h) eject;
   t

@@ -14,9 +14,11 @@ module Sim := Apiary_engine.Sim
 
 type 'a t
 
-val create : Sim.t -> router:'a Router.t -> depth:int -> qos:bool -> 'a t
-(** Create a NIC, wire it to [router]'s [Local] port and register its tick.
-    [depth] is the ejection buffer depth per VC. *)
+val create :
+  ?region:int -> Sim.t -> router:'a Router.t -> depth:int -> qos:bool -> 'a t
+(** Create a NIC, wire it to [router]'s [Local] port and register its tick
+    (in activity subregion [region], if given). [depth] is the ejection
+    buffer depth per VC. *)
 
 val coord : 'a t -> Coord.t
 

@@ -268,7 +268,7 @@ let tick t =
     if !(t.in_occ) = 0 then Sim.Idle else Sim.Busy
   end
 
-let create sim ~coord ~vcs ~depth ~routing ~qos =
+let create ?region sim ~coord ~vcs ~depth ~routing ~qos =
   assert (vcs >= 1);
   assert (depth >= 1);
   let in_occ = ref 0 in
@@ -306,5 +306,11 @@ let create sim ~coord ~vcs ~depth ~routing ~qos =
       perf = Perf.create ();
     }
   in
-  Sim.add_clocked ~name:"noc.router" sim (fun () -> tick t);
+  let h = Sim.add_clocked_h ~name:"noc.router" ?region sim (fun () -> tick t) in
+  (* Any flit arrival — a neighbour's staged push committing, or a
+     cross-partition inject — re-arms the router out of its parked
+     state. *)
+  Array.iter
+    (fun row -> Array.iter (fun c -> Fifo.set_owner c.buf h) row)
+    t.inputs;
   t

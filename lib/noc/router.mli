@@ -59,6 +59,7 @@ val chan_inject : 'a chan -> 'a Packet.Flit.t -> unit
 type 'a t
 
 val create :
+  ?region:int ->
   Sim.t ->
   coord:Coord.t ->
   vcs:int ->
@@ -66,7 +67,9 @@ val create :
   routing:Routing.t ->
   qos:bool ->
   'a t
-(** Create a router and register its per-cycle tick with the simulator. *)
+(** Create a router and register its per-cycle tick with the simulator
+    (in activity subregion [region], if given). Input-channel arrivals
+    re-arm the router when it is parked. *)
 
 val coord : 'a t -> Coord.t
 val vcs : 'a t -> int

@@ -36,11 +36,23 @@ let destination rng pattern ~cols ~rows ~(src : Coord.t) =
   | Bit_complement -> Coord.make (cols - 1 - src.x) (rows - 1 - src.y)
   | Neighbor -> Coord.make ((src.x + 1) mod cols) src.y
 
-type gen = { mutable running : bool; mutable offered : int }
+type pending = { at : int; psrc : Coord.t; pdst : Coord.t }
+
+type gen = {
+  mutable running : bool;
+  mutable offered : int;
+  pending : pending Queue.t;  (* scanned-ahead injections, ascending [at] *)
+}
+
+(* How many future cycles one tick may pre-draw while hunting for the
+   next injection. Bounds the work per executed cycle; a dry scan parks
+   the generator with [Idle_until] at the scan frontier and resumes
+   there. *)
+let scan_bound = 1024
 
 let start mesh ~rng ~pattern ~rate ~payload_bytes ?(cls = 0) ?stripe ~payload () =
   assert (rate >= 0.0 && rate <= 1.0);
-  let g = { running = true; offered = 0 } in
+  let g = { running = true; offered = 0; pending = Queue.create () } in
   let cfg = Mesh.config mesh in
   let tiles = Array.of_list (Mesh.coords mesh) in
   (* Partitioned meshes run one generator replica per stripe, each
@@ -54,32 +66,68 @@ let start mesh ~rng ~pattern ~rate ~payload_bytes ?(cls = 0) ?stripe ~payload ()
     | None -> fun _ -> true
     | Some s -> fun src -> Mesh.stripe_of mesh src = s
   in
-  let tick () =
-    (* While running we draw from the RNG every executed cycle, so the
-       generator must report Busy: skipping a cycle would shift the RNG
-       stream and change every subsequent draw. Once stopped it touches
-       nothing and fast-forward is safe. *)
-    if g.running then begin
-      Array.iter
-        (fun src ->
-          if Rng.chance rng rate then begin
-            let dst =
-              destination rng pattern ~cols:cfg.Mesh.cols ~rows:cfg.Mesh.rows ~src
-            in
-            if not (Coord.equal dst src) && owns src then begin
-              g.offered <- g.offered + 1;
-              Mesh.send mesh ~src ~dst ~cls ~payload_bytes payload
-            end
-          end)
-        tiles;
-      Sim.Busy
-    end
-    else Sim.Idle
+  let sim = Mesh.sim_of mesh (Option.value ~default:0 stripe) in
+  (* The generator consumes entropy for every simulated cycle, so it
+     cannot simply park: skipping a cycle's draws would shift the RNG
+     stream and change every subsequent injection. Instead it draws the
+     per-cycle/per-tile stream *ahead* — in exactly the order the flat
+     per-cycle loop drew it — buffers the injections it finds, and
+     reports an honest [Idle_until] for the next one. [drawn_upto] is
+     the first cycle whose draws have not happened yet (-1 until the
+     first tick pins it to the tick's cycle, matching the cycle the flat
+     scheduler would first have run us). *)
+  let drawn_upto = ref (-1) in
+  let draw_cycle c =
+    Array.iter
+      (fun src ->
+        if Rng.chance rng rate then begin
+          let dst =
+            destination rng pattern ~cols:cfg.Mesh.cols ~rows:cfg.Mesh.rows ~src
+          in
+          if (not (Coord.equal dst src)) && owns src then
+            Queue.add { at = c; psrc = src; pdst = dst } g.pending
+        end)
+      tiles
   in
-  Sim.add_clocked ~name:"noc.traffic"
-    (Mesh.sim_of mesh (Option.value ~default:0 stripe))
-    tick;
+  let inject p =
+    g.offered <- g.offered + 1;
+    Mesh.send mesh ~src:p.psrc ~dst:p.pdst ~cls ~payload_bytes payload
+  in
+  let tick () =
+    if not g.running then Sim.Idle
+    else begin
+      let now = Sim.now sim in
+      if !drawn_upto < 0 then drawn_upto := now;
+      (* Inject everything due, scanning forward (a cycle at a time, so
+         same-cycle finds inject immediately) until a future injection
+         or the scan bound stops us. *)
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        while
+          (not (Queue.is_empty g.pending))
+          && (Queue.peek g.pending).at <= now
+        do
+          inject (Queue.pop g.pending)
+        done;
+        if Queue.is_empty g.pending && !drawn_upto <= now + scan_bound then begin
+          draw_cycle !drawn_upto;
+          incr drawn_upto;
+          progress := true
+        end
+      done;
+      if Queue.is_empty g.pending then Sim.Idle_until !drawn_upto
+      else Sim.Idle_until (Queue.peek g.pending).at
+    end
+  in
+  Sim.add_clocked ~name:"noc.traffic" sim tick;
   g
 
-let stop_gen g = g.running <- false
+let stop_gen g =
+  g.running <- false;
+  (* Pre-drawn injections that have not fired yet die with the
+     generator: the flat per-cycle generator injected nothing after
+     stop either. *)
+  Queue.clear g.pending
+
 let offered g = g.offered

@@ -39,6 +39,12 @@ val start :
     each cycle each tile independently injects a packet with probability
     [rate] (packets/tile/cycle). Runs until {!stop_gen}.
 
+    The generator pre-draws its RNG stream ahead of the clock (in the
+    exact per-cycle/per-tile order a cycle-by-cycle generator would),
+    buffers upcoming injections, and reports [Idle_until] the next one —
+    so the simulator fast-forwards dead air instead of ticking the
+    generator every cycle, with a byte-identical injection sequence.
+
     On a partitioned mesh pass [stripe] and start one replica per stripe
     with identically-seeded RNGs: each replica runs on its stripe's
     simulator, draws the full RNG stream (so streams stay in lockstep)

@@ -105,10 +105,13 @@ let install_builtins () =
   add_sampler ~name:"obs.prof" (fun () ->
       if Profile.enabled () then
         List.iter
-          (fun (name, calls, seconds) ->
+          (fun (name, calls, skipped, seconds) ->
             Stats.Gauge.set
               (gauge (Printf.sprintf "prof.%s.calls" name))
               (float_of_int calls);
+            Stats.Gauge.set
+              (gauge (Printf.sprintf "prof.%s.skipped" name))
+              (float_of_int skipped);
             Stats.Gauge.set (gauge (Printf.sprintf "prof.%s.seconds" name)) seconds)
           (Profile.snapshot ()))
 

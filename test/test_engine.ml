@@ -476,6 +476,107 @@ let test_fifo_push_wakes_quiescent_sim () =
   Sim.run_for sim 1;
   Alcotest.(check (option int)) "committed on next run" (Some 7) (Fifo.pop f)
 
+(* ------------------------------------------------------------------ *)
+(* Activity-set scheduler: handles, regions, re-arm timing. *)
+
+let test_sim_rearm_handle () =
+  let sim = Sim.create () in
+  let runs = ref 0 in
+  let h =
+    Sim.add_clocked_h sim ~name:"t" (fun () ->
+        incr runs;
+        Sim.Idle)
+  in
+  Sim.run_for sim 10;
+  Alcotest.(check int) "parked after first tick" 1 !runs;
+  Sim.rearm sim h;
+  Sim.run_for sim 5;
+  Alcotest.(check int) "re-armed ticker ran once more" 2 !runs;
+  (* no_handle is a safe sink for ownerless re-arms *)
+  Sim.rearm sim Sim.no_handle;
+  Sim.run_for sim 5;
+  Alcotest.(check int) "no_handle wakes nothing" 2 !runs
+
+let test_sim_region_activity () =
+  let sim = Sim.create () in
+  let r = Sim.new_region sim in
+  let runs = ref 0 in
+  let tick () =
+    incr runs;
+    Sim.Idle
+  in
+  ignore (Sim.add_clocked_h sim ~name:"a" ~region:r tick);
+  ignore (Sim.add_clocked_h sim ~name:"b" ~region:r tick);
+  Alcotest.(check int) "armed at registration" 2 (Sim.region_active sim r);
+  Sim.run_for sim 5;
+  Alcotest.(check int) "both ticked once" 2 !runs;
+  Alcotest.(check int) "region quiet after parking" 0 (Sim.region_active sim r);
+  Sim.rearm_region sim r;
+  Alcotest.(check int) "region re-armed" 2 (Sim.region_active sim r);
+  Sim.run_for sim 5;
+  Alcotest.(check int) "both ticked again" 4 !runs
+
+let test_sim_tick_counts () =
+  let sim = Sim.create () in
+  Sim.add_clocked sim (fun () -> Sim.Idle_until (Sim.now sim + 5));
+  Sim.run_for sim 100;
+  let active, skipped = Sim.tick_counts sim in
+  Alcotest.(check int) "active ticks" 20 active;
+  Alcotest.(check int) "skipped ticks" 80 skipped
+
+let test_sim_late_registration_tick_counts () =
+  (* A ticker registered mid-run must not be charged for cycles that
+     predate it. *)
+  let sim = Sim.create () in
+  Sim.run_for sim 50;
+  Sim.add_clocked sim (fun () -> Sim.Busy);
+  Sim.run_for sim 10;
+  let active, skipped = Sim.tick_counts sim in
+  Alcotest.(check int) "only its own cycles" 10 active;
+  Alcotest.(check int) "no phantom skips" 0 skipped
+
+(* Satellite property: activity hints are pure scheduling. A consumer
+   that drains a FIFO and reports random Idle/Idle_until/Busy hints must
+   observe byte-identical deliveries to an always-Busy consumer — the
+   owner re-arm (commit wake) overrides any hint the instant work
+   lands. *)
+let prop_activity_hints_identical_delivery =
+  QCheck.Test.make
+    ~name:"random Idle/Idle_until hints match all-Busy delivery" ~count:150
+    QCheck.(
+      pair (list (pair (int_bound 150) (int_bound 100))) (int_bound 10_000))
+    (fun (pushes, seed) ->
+      let run ~hints =
+        let sim = Sim.create () in
+        let f = Fifo.create sim "chan" in
+        let log = ref [] in
+        let rng = Rng.create ~seed in
+        List.iter
+          (fun (t, v) -> Sim.at sim t (fun () -> ignore (Fifo.push f v)))
+          pushes;
+        let tick () =
+          let rec drain () =
+            match Fifo.pop f with
+            | Some v ->
+              log := (Sim.now sim, v) :: !log;
+              drain ()
+            | None -> ()
+          in
+          drain ();
+          if not hints then Sim.Busy
+          else
+            match Rng.int rng 3 with
+            | 0 -> Sim.Idle
+            | 1 -> Sim.Busy
+            | _ -> Sim.Idle_until (Sim.now sim + 1 + Rng.int rng 40)
+        in
+        let h = Sim.add_clocked_h sim ~name:"consumer" tick in
+        Fifo.set_owner f h;
+        Sim.run_until sim 300;
+        List.rev !log
+      in
+      run ~hints:false = run ~hints:true)
+
 let test_series () =
   let s = Stats.Series.create "t" ~interval:100 in
   Stats.Series.record s ~now:5 1.0;
@@ -565,6 +666,15 @@ let () =
           Alcotest.test_case "every ~start" `Quick test_sim_every_with_start;
           Alcotest.test_case "at past rejected" `Quick test_sim_at_past_rejected;
           Alcotest.test_case "crc32 init" `Quick test_checksum_crc32_incremental_differs;
+        ] );
+      ( "activity",
+        [
+          Alcotest.test_case "rearm handle" `Quick test_sim_rearm_handle;
+          Alcotest.test_case "region aggregate" `Quick test_sim_region_activity;
+          Alcotest.test_case "tick counts" `Quick test_sim_tick_counts;
+          Alcotest.test_case "late registration" `Quick
+            test_sim_late_registration_tick_counts;
+          qc prop_activity_hints_identical_delivery;
         ] );
       ( "fifo",
         [

@@ -155,10 +155,10 @@ let test_mesh_disciplines_agree () =
 let event_to_string e =
   Format.asprintf "%a" Trace.pp_event e
 
-let run_rack mode cycles =
+let run_rack ?domains mode cycles =
   let boards = 2 in
   let eng =
-    Par_sim.create ~mode ~adaptive:true ~lookahead:Cluster.lookahead
+    Par_sim.create ~mode ~adaptive:true ?domains ~lookahead:Cluster.lookahead
       ~n:(boards + 1) ()
   in
   let cluster =
@@ -201,6 +201,33 @@ let test_rack_par_matches_seq () =
   (* The workload must actually have crossed partition boundaries. *)
   Alcotest.(check bool) "requests completed" true
     (String.length stats_seq > 0 && trace_seq <> [])
+
+(* Work stealing: fewer domains than members must not move a byte —
+   members are isolated within a window, so which domain runs which
+   member is pure scheduling. *)
+let test_rack_work_stealing_matches () =
+  let cycles = 60_000 in
+  let stats_seq, trace_seq = run_rack Par_sim.Seq cycles in
+  let stats_steal, trace_steal = run_rack ~domains:2 Par_sim.Par cycles in
+  Alcotest.(check string) "stats identical under stealing" stats_seq stats_steal;
+  Alcotest.(check (list string)) "traces identical under stealing" trace_seq
+    trace_steal
+
+let test_domains_clamped_and_reported () =
+  let eng = Par_sim.create ~domains:99 ~lookahead:2 ~n:3 () in
+  Alcotest.(check int) "clamped to n" 3 (Par_sim.domains_used eng);
+  Alcotest.(check int) "n_domains is member count" 3 (Par_sim.n_domains eng);
+  let eng2 = Par_sim.create ~domains:2 ~lookahead:2 ~n:3 () in
+  Alcotest.(check int) "explicit cap kept" 2 (Par_sim.domains_used eng2)
+
+let test_neighbor_undersubscribed_rejected () =
+  Alcotest.check_raises "Neighbor needs one domain per member"
+    (Invalid_argument
+       "Par_sim.create: Neighbor sync pins one domain per member (domains = n)")
+    (fun () ->
+      ignore
+        (Par_sim.create ~mode:Par_sim.Par ~sync:Par_sim.Neighbor ~domains:2
+           ~lookahead:1 ~n:4 ()))
 
 (* ------------------------------------------------------------------ *)
 (* qcheck properties: canonical delivery and window bounds.
@@ -312,5 +339,14 @@ let () =
         [
           Alcotest.test_case "Par == Seq (E12-small shape)" `Quick
             test_rack_par_matches_seq;
+          Alcotest.test_case "work stealing == Seq" `Quick
+            test_rack_work_stealing_matches;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "clamped and reported" `Quick
+            test_domains_clamped_and_reported;
+          Alcotest.test_case "Neighbor undersubscription rejected" `Quick
+            test_neighbor_undersubscribed_rejected;
         ] );
     ]
