@@ -19,6 +19,7 @@ module Shard_client = Apiary_cluster.Shard_client
 module Span = Apiary_obs.Span
 module Registry = Apiary_obs.Registry
 module Export = Apiary_obs.Export
+module Series = Apiary_obs.Series
 open Bench_util
 
 let small () = Sys.getenv_opt "APIARY_E12_SMALL" <> None
@@ -252,10 +253,12 @@ let e12d_run ~duration ~kill_at ~restore_at ~interval =
      with its req_id, the ToR "fwd", and (joining on req_id) board 0's
      "serve" plus the kv tile's fabric RPC with per-hop NoC spans.
 
-   - e12d at reduced scale with spans + the metrics registry attached:
-     the kill at 80k cycles shows up as a gap in the client request
-     tracks (timed-out spans, failover instants) until resharding
-     restores throughput. *)
+   - e12d at full drill scale with spans + the metrics registry + a
+     windowed latency series attached: deterministic head sampling
+     (hash(corr) mod N, plus always-keep tail rules for slow/error
+     spans) keeps the whole 600k-cycle drill inside the span cap with
+     zero drops, and the series export shows the kill as a p999 spike
+     and throughput dip, window by window. *)
 
 let e12_obs_call () =
   Span.reset ();
@@ -291,40 +294,91 @@ let e12_obs_call () =
 let e12_obs_drill () =
   Registry.clear ();
   Span.reset ();
+  (* Deterministic sampling is what lets the capture run at full drill
+     scale: keep 1-in-8 corr families head-on, plus every span slower
+     than the client timeout or error-tagged (timeout/failover/deny). *)
+  Span.set_sampling ~head_mod:8 ~slow_cycles:20_000 ();
   Span.set_enabled true;
-  let duration = 300_000 and kill_at = 80_000 and restore_at = 180_000 in
+  let duration, kill_at, restore_at, window =
+    if small () then (300_000, 80_000, 180_000, 5_000)
+    else (600_000, 150_000, 350_000, 10_000)
+  in
   let boards = 4 and victim = 2 in
   let sim = Sim.create () in
-  let cluster = Cluster.create sim ~boards ~client_ports:3 in
+  let cluster = Cluster.create sim ~boards ~client_ports:(boards + 1) in
   for b = 0 to boards - 1 do
     ignore
       (Cluster.install cluster ~board:b ~service:"kv" (fst (Kv.behavior ())))
   done;
   let clients =
-    List.init 2 (fun _ ->
+    List.init boards (fun _ ->
         Shard_client.create cluster ~timeout:20_000 ~service:"kv"
           ~op:Kv.Proto.opcode ~route:Shard_client.By_key ~gen:(kv_gen 64))
   in
   Cluster.register_metrics cluster;
   List.iter Shard_client.register_metrics clients;
+  (* Windowed rollups of every request outcome: latency distribution per
+     window for the good ones, a bad-outcome count for the rest. Windows
+     roll lazily on each observation (plus the close_upto at the end), so
+     no clock hook is needed — Series.attach would arm a wake every
+     window and defeat the engine's idle fast-forward. *)
+  let series = Series.create ~window () in
+  List.iter
+    (fun c ->
+      Shard_client.set_on_outcome c (fun ~now ~latency ->
+          match latency with
+          | Some l -> Series.observe series ~now "kv.latency" l
+          | None -> Series.observe series ~now "kv.bad" 0))
+    clients;
   Sim.after sim 3_000 (fun () ->
-      List.iter (fun c -> Shard_client.start c ~concurrency:4) clients);
+      List.iter (fun c -> Shard_client.start c ~concurrency:8) clients);
   Sim.after sim kill_at (fun () -> Cluster.kill cluster ~board:victim);
   Sim.after sim restore_at (fun () -> Cluster.restore cluster ~board:victim);
   Sim.run_for sim duration;
   List.iter Shard_client.stop clients;
   Span.set_enabled false;
-  Export.chrome_trace ~path:"BENCH_obs_trace.json" (Span.events ());
+  Series.close_upto series duration;
+  Export.chrome_trace ~dropped:(Span.dropped ()) ~path:"BENCH_obs_trace.json"
+    (Span.events ());
   Export.metrics_json ~path:"BENCH_obs_metrics.json" (Registry.snapshot ());
+  Series.write_json series "BENCH_obs_series.json";
   let completed =
     List.fold_left (fun a c -> a + Shard_client.completed c) 0 clients
   in
   Printf.printf
-    "obs: failover drill, %d ops, %d spans (%d dropped) -> %s\n\
+    "obs: failover drill, %d ops, %d spans (%d sampled away, %d dropped) -> %s\n\
      obs: %d instruments -> %s\n"
-    completed (Span.count ()) (Span.dropped ()) "BENCH_obs_trace.json"
+    completed (Span.count ()) (Span.sampled ()) (Span.dropped ())
+    "BENCH_obs_trace.json"
     (List.length (Registry.snapshot ()))
     "BENCH_obs_metrics.json";
+  (* Tail latency over time, around the kill: the whole point of the
+     windowed series — the p999 spike and its decay are visible without
+     opening the trace. *)
+  let rows =
+    Series.rollups series "kv.latency"
+    |> List.filter (fun (r : Series.rollup) ->
+           r.Series.r_start >= kill_at - (2 * window)
+           && r.Series.r_start < kill_at + (6 * window))
+  in
+  subhead "windowed kv latency around the kill (BENCH_obs_series.json)";
+  table
+    [ "window start"; "ops"; "p50"; "p99"; "p999"; "max" ]
+    (List.map
+       (fun (r : Series.rollup) ->
+         [
+           commas r.Series.r_start;
+           i r.Series.r_count;
+           i r.Series.r_p50;
+           i r.Series.r_p99;
+           i r.Series.r_p999;
+           i r.Series.r_max;
+         ])
+       rows);
+  Printf.printf "obs: %d windows x %d cycles -> %s\n"
+    (Series.closed series "kv.latency")
+    window "BENCH_obs_series.json";
+  Span.set_sampling ();
   Span.reset ();
   Registry.clear ()
 

@@ -25,6 +25,7 @@ let registry =
     ("e12", ("multi-board rack: sharding, remote penalty, failover", Cluster_exp.e12));
     ("e13", ("in-fabric introspection: stat service, watchdog, flight recorder", Obs_exp.e13));
     ("e14", ("elastic multi-tenant scheduling: place, migrate, autoscale", Sched_exp.e14));
+    ("e15", ("the observability ladder: span, sampling and SLO overhead", Slo_exp.e15));
     ("abl", ("design-choice ablations (routing/VCs/depth/flit width)", Ablations.run));
     ("micro", ("Bechamel primitive costs", Micro.run));
   ]

@@ -33,6 +33,7 @@ module Shard_client = Apiary_cluster.Shard_client
 module Rack_health = Apiary_cluster.Rack_health
 module Placer = Apiary_sched.Placer
 module Sched = Apiary_sched.Sched
+module Slo = Apiary_obs.Slo
 module Floorplan = Apiary_resource.Floorplan
 module Parts = Apiary_resource.Parts
 module Area = Apiary_resource.Area
@@ -145,6 +146,26 @@ let mk_client cluster (spec : Placer.tenant) =
 (* One variant run. Returns per-tenant (ops, slo_ok, total, avg replica
    thousandths) plus scheduler totals and drill facts. *)
 
+(* Plain extract of a tenant's Slo state. Holding the Slo.t itself
+   would keep the whole variant's sim graph alive across the sweep (its
+   alert subscribers close over the scheduler), quadrupling peak heap. *)
+type slo_summary = {
+  ss_alerts : int;
+  ss_first_alert : int option;
+  ss_first_below : int option;
+  ss_budget_pct : float;
+  ss_attain_pct : float;
+}
+
+let summarize_slo slo =
+  {
+    ss_alerts = List.length (Slo.alerts slo);
+    ss_first_alert = Slo.first_alert_cycle slo;
+    ss_first_below = Slo.first_below_target slo;
+    ss_budget_pct = Slo.budget_remaining_pct slo;
+    ss_attain_pct = Slo.attainment_pct slo;
+  }
+
 type run_result = {
   per_tenant : (string * int * int * int * int) list;
       (* name, ops, within-SLO, samples, avg replicas x1000 *)
@@ -153,6 +174,8 @@ type run_result = {
   client_errors : int;
   detections : (int * int) list;  (* rack watchdog (cycle, board) *)
   decisions_json : string option;
+  slo_json : string option;  (* Sched.slo_report_json (elastic only) *)
+  slos : (string * slo_summary) list;  (* per-tenant extracts (elastic only) *)
   victim : int;  (* board killed by the drill, -1 when none *)
 }
 
@@ -207,6 +230,12 @@ let run_variant ~variant ~boards ~duration ~kill =
               hot_load = (if migration then 30 else max_int / 2);
               cold_load = 12;
               cooldown = 60_000;
+              (* Fine-grained SLO windows: a flash crowd exhausts a
+                 low-rate tenant's error budget within a couple of
+                 thousand cycles, so burn rates must be observable on
+                 that scale for the page to lead the breach. *)
+              slo_window = 1_000;
+              slo_min_samples = 4;
             }
           in
           let sched = Sched.create ~config:cfg cluster ~slot_cells in
@@ -314,6 +343,17 @@ let run_variant ~variant ~boards ~duration ~kill =
               clients;
           detections = Rack_health.detections health;
           decisions_json = Option.map Sched.decisions_json sched;
+          slo_json = Option.map Sched.slo_report_json sched;
+          slos =
+            (match sched with
+            | None -> []
+            | Some sched ->
+              List.map
+                (fun ((spec : Placer.tenant), _) ->
+                  ( spec.Placer.name,
+                    summarize_slo (Sched.slo sched ~tenant:spec.Placer.name)
+                  ))
+                clients);
           victim = !victim;
         })
 
@@ -440,4 +480,48 @@ let e14 () =
   Printf.printf
     "(the watchdog's report_down reaches the scheduler and the shard\n\
     \ clients in the same announcement: displaced tenants are re-placed\n\
-    \ and in-flight work reissued without waiting out request timeouts)\n"
+    \ and in-flight work reissued without waiting out request timeouts)\n";
+
+  subhead "E14c: burn-rate alerting (lib/obs/slo, elastic+mig)";
+  let em = List.assoc (Elastic { migration = true }) results in
+  (match em.slo_json with
+  | Some json ->
+    let oc = open_out "BENCH_e14_slo.json" in
+    output_string oc json;
+    close_out oc
+  | None -> ());
+  let opt_cyc = function None -> "-" | Some c -> commas c in
+  table
+    [ "tenant"; "alerts"; "first alert"; "first below target"; "budget left";
+      "attain%" ]
+    (List.map
+       (fun (name, s) ->
+         [
+           name;
+           i s.ss_alerts;
+           opt_cyc s.ss_first_alert;
+           opt_cyc s.ss_first_below;
+           f1 s.ss_budget_pct ^ "%";
+           f1 s.ss_attain_pct;
+         ])
+       em.slos);
+  (* The headline property: during the flash crowd the burst tenant's
+     fast-burn page fires before whole-run attainment actually crosses
+     below target — the alert leads the breach instead of reporting it. *)
+  (match List.assoc_opt "burst" em.slos with
+  | Some s -> (
+    match (s.ss_first_alert, s.ss_first_below) with
+    | Some alert, Some below ->
+      Printf.printf
+        "burst: burn alert at %s, attainment crossed below target at %s -> \
+         alert led the breach by %s cycles\n"
+        (commas alert) (commas below)
+        (commas (below - alert))
+    | Some alert, None ->
+      Printf.printf
+        "burst: burn alert at %s; whole-run attainment never fell below \
+         target (autoscaler absorbed the crowd)\n"
+        (commas alert)
+    | None, _ -> Printf.printf "burst: no burn alert fired\n")
+  | None -> ());
+  Printf.printf "slo report -> BENCH_e14_slo.json\n";

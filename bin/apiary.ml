@@ -29,6 +29,7 @@ module Video_pipeline = Apiary_apps.Video_pipeline
 module Span = Apiary_obs.Span
 module Registry = Apiary_obs.Registry
 module Export = Apiary_obs.Export
+module Slo = Apiary_obs.Slo
 module Parts = Apiary_resource.Parts
 module Area = Apiary_resource.Area
 module Floorplan = Apiary_resource.Floorplan
@@ -202,11 +203,21 @@ let obs_cmd scenario cycles clients seed trace_out metrics_out =
    router columns come from the NoC blocks) over the fabric itself.
    --once renders only the final frame — the CI smoke mode. *)
 
-let top_cmd scenario cycles clients interval once seed =
+let top_cmd scenario cycles clients interval once seed slo_cycles =
   let sim = Sim.create () in
   let board = Board.create sim in
   let kernel = board.Board.kernel in
   let service, op, gen = install_scenario board scenario seed in
+  (* SLO accounting rides the renders: each frame diffs the clients'
+     latency histograms (count / count_le the bound) and feeds the
+     deltas to a burn-rate tracker windowed on the refresh interval. *)
+  let slo =
+    Slo.create
+      (Slo.default_objective ~window:interval ~min_samples:5 ~tenant:service
+         ~latency_cycles:slo_cycles ())
+  in
+  let cs_ref = ref [] in
+  let last_good = ref 0 and last_total = ref 0 in
   (* The scenario took user tiles from the front; take ours from the
      back so we never collide with it. *)
   let stat_tile, reader_tile =
@@ -253,7 +264,30 @@ let top_cmd scenario cycles clients interval once seed =
         (Perf.read p Perf.occ_peak);
       Printf.printf
         "board: %d router-busy cycles — %.1f%% mean router utilization\n" busy
-        (100.0 *. float_of_int busy /. float_of_int (max 1 (now * n)))
+        (100.0 *. float_of_int busy /. float_of_int (max 1 (now * n)));
+      let total, good =
+        List.fold_left
+          (fun (t, g) c ->
+            let h = Client.latency c in
+            ( t + Stats.Histogram.count h,
+              g + Stats.Histogram.count_le h slo_cycles ))
+          (0, 0) !cs_ref
+      in
+      Slo.observe_n slo ~now ~good:(good - !last_good)
+        ~bad:(total - !last_total - (good - !last_good));
+      last_good := good;
+      last_total := total;
+      let obj = Slo.objective slo in
+      Printf.printf
+        "slo:   %d/%d within %d cycles — attainment %.1f%%, budget left \
+         %.1f%%, burn fast %.1f / slow %.1f%s\n"
+        good total slo_cycles (Slo.attainment_pct slo)
+        (Slo.budget_remaining_pct slo)
+        (Slo.burn_rate slo ~windows:obj.Slo.fast_windows)
+        (Slo.burn_rate slo ~windows:obj.Slo.slow_windows)
+        (match List.length (Slo.alerts slo) with
+        | 0 -> ""
+        | k -> Printf.sprintf ", %d burn alerts" k)
   in
   Kernel.install kernel ~tile:reader_tile
     (Apiary_core.Shell.behavior "top" ~on_boot:(fun sh ->
@@ -292,6 +326,7 @@ let top_cmd scenario cycles clients interval once seed =
             Client.start_closed c { Client.service; op; gen } ~concurrency:4);
         c)
   in
+  cs_ref := cs;
   Sim.run_for sim cycles;
   List.iter Client.stop cs;
   if once then render cycles;
@@ -391,14 +426,12 @@ module Placer = Apiary_sched.Placer
    "burst") share --boards boards, the scheduler places/migrates/
    autoscales, and the decision log lands in --decisions-out. With
    --kill, a board serving web is downed mid-run and the watchdog alarm
-   path re-places its tenants. The run is deterministic. *)
+   path re-places its tenants. The run is deterministic. The same demo
+   backs `apiary slo`, which reports the tenants' error budgets and
+   burn-rate alerts instead of the placement table. *)
 
-let sched_cmd boards cycles kill decisions_out =
-  if boards < 2 then begin
-    Printf.eprintf "sched: need at least 2 boards\n";
-    1
-  end
-  else begin
+let run_sched_demo ~boards ~cycles ~kill =
+  begin
     let sim = Sim.create () in
     let cluster = Cluster.create sim ~boards ~client_ports:5 in
     let noc = { Area.vcs = 2; depth = 4; flit_bits = 32 } in
@@ -494,6 +527,16 @@ let sched_cmd boards cycles kill decisions_out =
           | [] -> ());
     Sim.run_for sim cycles;
     List.iter (fun (_, c) -> Shard_client.stop c) clients;
+    (sched, clients, health, !victim)
+  end
+
+let sched_cmd boards cycles kill decisions_out =
+  if boards < 2 then begin
+    Printf.eprintf "sched: need at least 2 boards\n";
+    1
+  end
+  else begin
+    let sched, clients, health, victim = run_sched_demo ~boards ~cycles ~kill in
     Printf.printf "%-6s %10s %8s %6s %9s %9s\n" "tenant" "completed" "slo%"
       "repl" "failovers" "retries";
     List.iter
@@ -514,8 +557,8 @@ let sched_cmd boards cycles kill decisions_out =
        deferred, %d replaced\n"
       t.Sched.placements t.Sched.migrations t.Sched.scale_ups
       t.Sched.scale_downs t.Sched.deferred t.Sched.replaced;
-    if kill && !victim >= 0 then
-      (match List.find_opt (fun (_, b) -> b = !victim) (Rack_health.detections health) with
+    if kill && victim >= 0 then
+      (match List.find_opt (fun (_, b) -> b = victim) (Rack_health.detections health) with
       | Some (cyc, b) ->
         Printf.printf "watchdog: board %d declared down at cycle %d\n" b cyc
       | None -> Printf.printf "watchdog: kill not detected (run too short?)\n");
@@ -523,6 +566,47 @@ let sched_cmd boards cycles kill decisions_out =
     output_string oc (Sched.decisions_json sched);
     close_out oc;
     Printf.printf "decision log -> %s\n" decisions_out;
+    0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* slo *)
+
+let slo_cmd boards cycles kill report_out =
+  if boards < 2 then begin
+    Printf.eprintf "slo: need at least 2 boards\n";
+    1
+  end
+  else begin
+    let sched, clients, _health, _victim = run_sched_demo ~boards ~cycles ~kill in
+    Printf.printf "%-6s %7s %10s %6s %8s %7s %6s %6s %7s\n" "tenant" "target"
+      "good" "bad" "attain%" "budget%" "fast" "slow" "alerts";
+    List.iter
+      (fun ((s : Placer.tenant), _) ->
+        let t = Sched.slo sched ~tenant:s.Placer.name in
+        let obj = Slo.objective t in
+        Printf.printf "%-6s %6.1f%% %10d %6d %8.1f %7.1f %6.1f %6.1f %7d\n"
+          s.Placer.name obj.Slo.target_pct (Slo.good_total t) (Slo.bad_total t)
+          (Slo.attainment_pct t)
+          (Slo.budget_remaining_pct t)
+          (Slo.burn_rate t ~windows:obj.Slo.fast_windows)
+          (Slo.burn_rate t ~windows:obj.Slo.slow_windows)
+          (List.length (Slo.alerts t)))
+      clients;
+    List.iter
+      (fun ((s : Placer.tenant), _) ->
+        let t = Sched.slo sched ~tenant:s.Placer.name in
+        List.iter
+          (fun (a : Slo.alert) ->
+            Printf.printf
+              "alert: [%8d] %-6s %-6s burn fast %.1f / slow %.1f\n"
+              a.Slo.a_cycle s.Placer.name
+              (Slo.severity_to_string a.Slo.a_severity)
+              a.Slo.a_burn_fast a.Slo.a_burn_slow)
+          (Slo.alerts t))
+      clients;
+    Sched.write_slo_report sched report_out;
+    Printf.printf "slo report -> %s\n" report_out;
     0
   end
 
@@ -599,7 +683,12 @@ let top_term =
     Arg.(value & flag & info [ "once" ]
            ~doc:"Render only the final frame (batch/CI mode).")
   in
-  Term.(const top_cmd $ scenario $ cycles $ clients $ interval $ once $ seed_arg)
+  let slo_cycles =
+    Arg.(value & opt int 5_000 & info [ "slo-cycles" ]
+           ~doc:"Latency bound the slo row judges requests against.")
+  in
+  Term.(const top_cmd $ scenario $ cycles $ clients $ interval $ once $ seed_arg
+        $ slo_cycles)
 
 let top_cmd_info =
   Cmd.info "top"
@@ -658,6 +747,27 @@ let sched_cmd_info =
   Cmd.info "sched"
     ~doc:"Elastic multi-tenant scheduler: place, migrate, autoscale a rack"
 
+let slo_term =
+  let boards =
+    Arg.(value & opt int 4 & info [ "boards" ] ~doc:"Boards in the rack.")
+  in
+  let cycles =
+    Arg.(value & opt int 400_000 & info [ "cycles" ] ~doc:"Cycles to simulate.")
+  in
+  let kill =
+    Arg.(value & flag & info [ "kill" ]
+           ~doc:"Down a board serving the web tenant mid-run (failure drill).")
+  in
+  let report_out =
+    Arg.(value & opt string "slo_report.json" & info [ "report-out" ]
+           ~doc:"Per-tenant SLO report output path (JSON).")
+  in
+  Term.(const slo_cmd $ boards $ cycles $ kill $ report_out)
+
+let slo_cmd_info =
+  Cmd.info "slo"
+    ~doc:"Per-tenant error budgets and burn-rate alerts for the sched demo rack"
+
 let () =
   let doc = "Apiary: a microkernel OS for direct-attached FPGAs (simulated)" in
   let info = Cmd.info "apiary" ~version:"0.1.0" ~doc in
@@ -672,4 +782,5 @@ let () =
             Cmd.v noc_cmd_info noc_term;
             Cmd.v area_cmd_info area_term;
             Cmd.v sched_cmd_info sched_term;
+            Cmd.v slo_cmd_info slo_term;
           ]))

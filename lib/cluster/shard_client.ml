@@ -43,6 +43,7 @@ type t = {
   mutable failovers : int;
   mutable running : bool;
   mutable on_complete : now:int -> unit;
+  mutable on_outcome : now:int -> latency:int option -> unit;
 }
 
 (* Client span track: ports start at 0x02_0000_0C0000 (Cluster.add_client),
@@ -146,6 +147,7 @@ let rec issue_work t work_id =
                 ~cat:"client" ~name:"failover" ~track:(obs_track t)
                 ~ts:(Sim.now t.sim) ();
             t.failovers <- t.failovers + 1;
+            t.on_outcome ~now:(Sim.now t.sim) ~latency:None;
             drop_board t p.board;
             if t.running then issue_work t p.work_id)
 
@@ -174,6 +176,7 @@ let board_down t board =
           ~cat:"client" ~name:"failover" ~track:(obs_track t)
           ~ts:(Sim.now t.sim) ();
       t.failovers <- t.failovers + 1;
+      t.on_outcome ~now:(Sim.now t.sim) ~latency:None;
       if t.running then issue_work t p.work_id)
     stale
 
@@ -203,13 +206,16 @@ let handle_frame t (f : Frame.t) =
            off briefly and reissue the work item, so a placement change
            never loses a request. *)
         t.errors <- t.errors + 1;
+        t.on_outcome ~now:(Sim.now t.sim) ~latency:None;
         Sim.after t.sim 64 (fun () ->
             if t.running then issue_work t p.work_id)
       end
       else begin
-        Stats.Histogram.record t.lat (Sim.now t.sim - p.issued_at);
+        let lat = Sim.now t.sim - p.issued_at in
+        Stats.Histogram.record t.lat lat;
         t.completed <- t.completed + 1;
         t.on_complete ~now:(Sim.now t.sim);
+        t.on_outcome ~now:(Sim.now t.sim) ~latency:(Some lat);
         if t.running then fresh_work t
       end)
 
@@ -242,6 +248,7 @@ let create ?(vnodes = 64) ?(timeout = 25_000) ?gbps cluster ~service ~op ~route
       failovers = 0;
       running = false;
       on_complete = (fun ~now:_ -> ());
+      on_outcome = (fun ~now:_ ~latency:_ -> ());
     }
   in
   Cluster.on_board_up cluster (fun b -> readmit_board t b);
@@ -281,3 +288,4 @@ let failovers t = t.failovers
 let latency t = t.lat
 let live_boards t = Shard.boards t.ring
 let set_on_complete t f = t.on_complete <- f
+let set_on_outcome t f = t.on_outcome <- f

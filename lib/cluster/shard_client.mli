@@ -57,6 +57,14 @@ val live_boards : t -> int list
 val set_on_complete : t -> (now:int -> unit) -> unit
 (** Hook fired at each completion (e.g. to feed a {!Stats.Series}). *)
 
+val set_on_outcome : t -> (now:int -> latency:int option -> unit) -> unit
+(** Hook fired at every request {e outcome}: [Some latency] (cycles)
+    for an [Ok] reply, [None] for a timeout, a watchdog-driven
+    board-down reissue, or a non-[Ok] reply. Device backpressure is not
+    an outcome — the request never left the host. This is the feed for
+    SLO accounting ({!Apiary_obs.Slo}), where timeouts must count
+    against the error budget even though no latency sample exists. *)
+
 val sync_boards : t -> int list -> unit
 (** Reconcile shard-ring and round-robin membership with a scheduler's
     placement: boards in the list are admitted, boards not in it are

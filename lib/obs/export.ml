@@ -59,7 +59,7 @@ let add_event b (ev : Span.event) =
   if args <> [] then add_args b args;
   Buffer.add_char b '}'
 
-let chrome_trace_string events =
+let chrome_trace_string ?(dropped = 0) events =
   let events =
     List.stable_sort
       (fun (a : Span.event) (b : Span.event) ->
@@ -82,6 +82,15 @@ let chrome_trace_string events =
     if !first then first := false else Buffer.add_char b ',';
     Buffer.add_string b "\n"
   in
+  (* A truncated capture must say so in the artifact itself, not only in
+     the metrics dump: stamp the drop count as a metadata record. *)
+  if dropped > 0 then begin
+    sep ();
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"trace_truncated\",\"ph\":\"M\",\"pid\":0,\"args\":{\"dropped\":\"%d\"}}"
+         dropped)
+  end;
   List.iter
     (fun board ->
       sep ();
@@ -107,7 +116,8 @@ let write_file ~path s =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc s)
 
-let chrome_trace ~path events = write_file ~path (chrome_trace_string events)
+let chrome_trace ?dropped ~path events =
+  write_file ~path (chrome_trace_string ?dropped events)
 
 let add_instrument b = function
   | Registry.Counter c ->

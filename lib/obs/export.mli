@@ -18,9 +18,13 @@
     [(ts, seq)], metadata by pid, and no wall-clock or address-derived
     value is emitted. *)
 
-val chrome_trace_string : Span.event list -> string
+val chrome_trace_string : ?dropped:int -> Span.event list -> string
+(** When [dropped > 0] the capture is partial (the span buffer cap was
+    reached): a [trace_truncated] metadata record carrying the drop
+    count is stamped into the export so the artifact itself says so,
+    not just the metrics dump. *)
 
-val chrome_trace : path:string -> Span.event list -> unit
+val chrome_trace : ?dropped:int -> path:string -> Span.event list -> unit
 (** Write {!chrome_trace_string} to [path]. *)
 
 val metrics_json_string : (string * Registry.instrument) list -> string
@@ -30,3 +34,15 @@ val metrics_json_string : (string * Registry.instrument) list -> string
     p50/p90/p99 percentiles. *)
 
 val metrics_json : path:string -> (string * Registry.instrument) list -> unit
+
+(** {2 JSON building blocks}
+
+    Shared by the other observability exporters ({!Series}, {!Slo}) so
+    every artifact renders strings and floats identically. *)
+
+val buf_add_json_string : Buffer.t -> string -> unit
+(** Append a JSON-escaped, quoted string. *)
+
+val buf_add_float : Buffer.t -> float -> unit
+(** Append a float as [%.6g]; non-finite values render as [null] (JSON
+    has no Infinity/NaN). *)

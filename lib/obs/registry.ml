@@ -101,7 +101,9 @@ let install_builtins () =
   add_sampler ~name:"obs.span" (fun () ->
       Stats.Gauge.set (gauge "obs.span.events") (float_of_int (Span.count ()));
       Stats.Gauge.set (gauge "obs.span.dropped")
-        (float_of_int (Span.dropped ())));
+        (float_of_int (Span.dropped ()));
+      Stats.Gauge.set (gauge "obs.span.sampled")
+        (float_of_int (Span.sampled ())));
   add_sampler ~name:"obs.prof" (fun () ->
       if Profile.enabled () then
         List.iter

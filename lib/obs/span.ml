@@ -14,7 +14,9 @@ type event = {
 }
 
 type id = int
-(* 1-based index into the store; 0 = null. A reset bumps [epoch], so a
+(* Positive: 1-based index into the store; 0 = null; negative: a key in
+   the pending side-table (a head-sampled-away open span that may still
+   be promoted by a tail rule at finish). A reset bumps [epoch], so a
    stale id from before the reset cannot close an unrelated span. *)
 
 let null = 0
@@ -27,7 +29,27 @@ let cap = ref 1_048_576
 let store : event array ref = ref [||]
 let n = ref 0
 let n_dropped = ref 0
+let n_sampled = ref 0
 let epoch = ref 0
+
+(* Deterministic head sampling: keep a corr family when
+   [hash(corr) mod head_mod = 0]. [head_mod = 1] keeps everything.
+   Tail rules promote sampled-away spans that turn out interesting:
+   slower than [slow_cycles], carrying an error name or a non-"ok"
+   status. Corr 0 (uncorrelated) spans are always kept — they are the
+   low-volume control-plane events (client requests, switch decisions,
+   sched/health marks) the sampled trace still needs for context. *)
+let head_mod = ref 1
+let slow_cycles = ref max_int
+
+(* Open spans whose corr was sampled away, keyed by negative id; kept
+   off the store so a tail rule can still resurrect them at finish. *)
+let pending : (int, int * event) Hashtbl.t = Hashtbl.create 64
+let next_pending = ref 0
+
+(* One-shot per process: dropping events silently at scale is exactly
+   the failure mode sampling exists to prevent, so say it once. *)
+let warned_drop = ref false
 
 let set_enabled b = flag := b
 let on () = !flag
@@ -36,6 +58,8 @@ let reset_locked () =
   store := [||];
   n := 0;
   n_dropped := 0;
+  n_sampled := 0;
+  Hashtbl.reset pending;
   incr epoch
 
 let reset () =
@@ -50,39 +74,99 @@ let set_capacity c =
   reset_locked ();
   Mutex.unlock lock
 
-(* Append under the lock; returns the 1-based slot or 0 when full. *)
-let push ev =
+(* APIARY_OBS_CAP sizes the buffer from the environment, so full-scale
+   --obs runs can raise the cap without a code change. *)
+let () =
+  match Sys.getenv_opt "APIARY_OBS_CAP" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some c when c > 0 -> cap := c
+    | _ -> ())
+  | None -> ()
+
+let set_sampling ?head_mod:(hm = 1) ?slow_cycles:(sc = max_int) () =
+  if hm < 1 then invalid_arg "Span.set_sampling: head_mod must be >= 1";
   Mutex.lock lock;
-  let slot =
-    if !n >= !cap then begin
-      incr n_dropped;
-      0
-    end
-    else begin
-      if !n >= Array.length !store then begin
-        let grown = Array.make (max 1024 (2 * Array.length !store)) ev in
-        Array.blit !store 0 grown 0 !n;
-        store := grown
-      end;
-      !store.(!n) <- ev;
-      incr n;
-      !n
-    end
-  in
-  Mutex.unlock lock;
-  slot
+  head_mod := hm;
+  slow_cycles := sc;
+  Mutex.unlock lock
 
-let record ?(board = -1) ?(corr = 0) ?(args = []) ~cat ~name ~track ~ts ~dur ph =
-  if not !flag then 0
-  else
-    push { seq = 0; name; cat; corr; board; track; ts; dur; ph; args }
+(* Avalanche mix (splitmix-style finalizer with 62-bit-safe odd
+   constants — OCaml ints are 63-bit, the classic 64-bit constants do
+   not fit). Spreads consecutive corr ids uniformly so [mod head_mod]
+   picks an unbiased, deterministic subset. *)
+let mix x =
+  let h = x lxor (x lsr 30) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 27) in
+  let h = h * 0x3C79AC492BA7B653 in
+  let h = h lxor (h lsr 31) in
+  h land max_int
 
-let start ?board ?corr ?args ~cat ~name ~track ~ts () =
+let keep_head corr =
+  corr = 0 || !head_mod <= 1 || mix corr mod !head_mod = 0
+
+(* Names that always survive sampling: faults and rejections are the
+   spans a postmortem needs most. *)
+let tail_name = function
+  | "fault" | "deny" | "drop" | "timeout" | "failover" | "board_down" -> true
+  | _ -> false
+
+let tail_keep ~name ~dur args =
+  dur >= !slow_cycles
+  || tail_name name
+  || (match List.assoc_opt "status" args with
+     | Some s -> s <> "ok"
+     | None -> false)
+
+(* Append; caller must hold the lock. Returns the 1-based slot or 0 when
+   full. *)
+let push_locked ev =
+  if !n >= !cap then begin
+    incr n_dropped;
+    if not !warned_drop then begin
+      warned_drop := true;
+      Printf.eprintf
+        "apiary obs: span buffer full at %d events; dropping (raise with \
+         APIARY_OBS_CAP or enable sampling)\n\
+         %!"
+        !cap
+    end;
+    0
+  end
+  else begin
+    if !n >= Array.length !store then begin
+      let grown = Array.make (max 1024 (2 * Array.length !store)) ev in
+      Array.blit !store 0 grown 0 !n;
+      store := grown
+    end;
+    !store.(!n) <- ev;
+    incr n;
+    !n
+  end
+
+let start ?(board = -1) ?(corr = 0) ?(args = []) ~cat ~name ~track ~ts () =
   if not !flag then null
   else begin
-    let e = !epoch in
-    let slot = record ?board ?corr ?args ~cat ~name ~track ~ts ~dur:(-1) Dur in
-    if slot = 0 then null else (e * !cap) + slot
+    let ev =
+      { seq = 0; name; cat; corr; board; track; ts; dur = -1; ph = Dur; args }
+    in
+    Mutex.lock lock;
+    let id =
+      if keep_head corr then begin
+        let slot = push_locked ev in
+        if slot = 0 then null else (!epoch * !cap) + slot
+      end
+      else begin
+        (* Sampled away for now; park it so a tail rule can promote it
+           when the close reveals an error or a slow request. *)
+        decr next_pending;
+        Hashtbl.replace pending !next_pending (!epoch, ev);
+        !next_pending
+      end
+    in
+    Mutex.unlock lock;
+    id
   end
 
 (* Finishing is allowed even after tracing was switched off, so spans
@@ -91,24 +175,58 @@ let start ?board ?corr ?args ~cat ~name ~track ~ts () =
 let finish ?(args = []) ~ts id =
   if id <> null then begin
     Mutex.lock lock;
-    let e = id / !cap and slot = id mod !cap in
-    if e = !epoch && slot >= 1 && slot <= !n then begin
-      let ev = !store.(slot - 1) in
-      if ev.dur < 0 then begin
-        ev.dur <- max 0 (ts - ev.ts);
-        if args <> [] then ev.args <- ev.args @ args
+    if id < 0 then begin
+      (* A parked head-sampled span: promote it if a tail rule fires on
+         the completed interval, count it sampled otherwise. *)
+      match Hashtbl.find_opt pending id with
+      | Some (e, ev) when e = !epoch ->
+        Hashtbl.remove pending id;
+        let dur = max 0 (ts - ev.ts) in
+        let merged = if args = [] then ev.args else ev.args @ args in
+        if tail_keep ~name:ev.name ~dur merged then begin
+          ev.dur <- dur;
+          ev.args <- merged;
+          ignore (push_locked ev)
+        end
+        else incr n_sampled
+      | _ -> Hashtbl.remove pending id
+    end
+    else begin
+      let e = id / !cap and slot = id mod !cap in
+      if e = !epoch && slot >= 1 && slot <= !n then begin
+        let ev = !store.(slot - 1) in
+        if ev.dur < 0 then begin
+          ev.dur <- max 0 (ts - ev.ts);
+          if args <> [] then ev.args <- ev.args @ args
+        end
       end
     end;
     Mutex.unlock lock
   end
 
-let complete ?board ?corr ?args ~cat ~name ~track ~ts ~dur () =
-  if !flag then
-    ignore (record ?board ?corr ?args ~cat ~name ~track ~ts ~dur:(max 0 dur) Dur)
+let complete ?(board = -1) ?(corr = 0) ?(args = []) ~cat ~name ~track ~ts ~dur
+    () =
+  if !flag then begin
+    let dur = max 0 dur in
+    Mutex.lock lock;
+    if keep_head corr || tail_keep ~name ~dur args then
+      ignore
+        (push_locked
+           { seq = 0; name; cat; corr; board; track; ts; dur; ph = Dur; args })
+    else incr n_sampled;
+    Mutex.unlock lock
+  end
 
-let instant ?board ?corr ?args ~cat ~name ~track ~ts () =
-  if !flag then
-    ignore (record ?board ?corr ?args ~cat ~name ~track ~ts ~dur:0 Mark)
+let instant ?(board = -1) ?(corr = 0) ?(args = []) ~cat ~name ~track ~ts () =
+  if !flag then begin
+    Mutex.lock lock;
+    if keep_head corr || tail_keep ~name ~dur:0 args then
+      ignore
+        (push_locked
+           { seq = 0; name; cat; corr; board; track; ts; dur = 0; ph = Mark; args })
+    else incr n_sampled;
+    Mutex.unlock lock
+  end
 
 let events () =
   Mutex.lock lock;
@@ -127,3 +245,9 @@ let dropped () =
   let d = !n_dropped in
   Mutex.unlock lock;
   d
+
+let sampled () =
+  Mutex.lock lock;
+  let s = !n_sampled in
+  Mutex.unlock lock;
+  s

@@ -18,7 +18,20 @@
     from a fixed-seed run is deterministic and its export byte-stable.
     Recording is mutex-protected for safety if a parallel engine is left
     running with spans enabled, but deterministic capture requires a
-    monolithic (single-domain) simulation. *)
+    monolithic (single-domain) simulation.
+
+    {b Sampling} ({!set_sampling}) keeps full-scale captures inside the
+    buffer cap without losing determinism: correlation families are
+    head-sampled by [hash(corr) mod head_mod] — a pure function of the
+    corr id, so Seq and parallel engines select the same subset — while
+    {e tail rules} always keep the interesting spans regardless of the
+    head decision: anything slower than [slow_cycles], error-named
+    events ([fault], [deny], [drop], [timeout], [failover],
+    [board_down]) and spans whose [status] arg is not ["ok"]. Corr-0
+    (uncorrelated) spans are never sampled away. A head-sampled open
+    span is parked off-buffer until {!finish} so a tail rule can still
+    promote it; if tracing ends before its finish, it simply never
+    appears in the export. *)
 
 type ph =
   | Dur  (** an interval; still open while [dur] is negative *)
@@ -97,7 +110,22 @@ val count : unit -> int
 (** Events retained (i.e. not dropped by the capacity cap). *)
 
 val dropped : unit -> int
-(** Events discarded because the buffer cap was reached. *)
+(** Events discarded because the buffer cap was reached. The first drop
+    prints a one-shot stderr warning. *)
+
+val sampled : unit -> int
+(** Events deterministically sampled away (distinct from {!dropped}:
+    sampling is a deliberate, reproducible reduction; dropping is the
+    buffer overflowing). *)
 
 val set_capacity : int -> unit
-(** Cap on retained events (default [1_048_576]); also resets. *)
+(** Cap on retained events (default [1_048_576], or [APIARY_OBS_CAP]
+    from the environment at startup); also resets. *)
+
+val set_sampling : ?head_mod:int -> ?slow_cycles:int -> unit -> unit
+(** Configure deterministic sampling. [head_mod] (default 1 = keep all)
+    keeps corr families with [hash(corr) mod head_mod = 0];
+    [slow_cycles] (default [max_int] = never) is the tail-latency
+    threshold above which a span is kept regardless. Omitted arguments
+    reset to their defaults. Raises [Invalid_argument] if
+    [head_mod < 1]. Survives {!reset}. *)

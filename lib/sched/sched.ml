@@ -17,6 +17,8 @@ module Stats = Apiary_engine.Stats
 module Span = Apiary_obs.Span
 module Registry = Apiary_obs.Registry
 module Perf = Apiary_obs.Perf
+module Slo = Apiary_obs.Slo
+module Flight = Apiary_obs.Flight
 module Kernel = Apiary_core.Kernel
 module Shell = Apiary_core.Shell
 module Health = Apiary_core.Health
@@ -45,6 +47,8 @@ type config = {
   margin : int;
   pr_bytes_per_cycle : int;
   max_migrations_per_epoch : int;
+  slo_window : int;
+  slo_min_samples : int;
 }
 
 let default_config =
@@ -64,6 +68,8 @@ let default_config =
     margin = 128;
     pr_bytes_per_cycle = 8;
     max_migrations_per_epoch = 1;
+    slo_window = 5_000;
+    slo_min_samples = 20;
   }
 
 type decision = {
@@ -98,13 +104,15 @@ type tenant = {
   spec : Placer.tenant;
   behavior : unit -> Shell.behavior;
   mutable client : Shard_client.t option;
+  slo : Slo.t;  (* the attainment signal: every watched request outcome *)
+  mutable page_pending : bool;  (* a Page burn alert since the last epoch *)
   (* autoscaler memory *)
   mutable bad_epochs : int;
   mutable hot_epochs : int;
   mutable idle_epochs : int;
   mutable last_completed : int;
-  mutable last_count : int;
-  mutable last_le : int;
+  mutable last_good : int;
+  mutable last_total : int;
   mutable last_migration : int;
   mutable migrating : bool;
   (* provisioning integral (replica-cycles) *)
@@ -131,6 +139,7 @@ type t = {
   cfg : config;
   mac : Mac.t;
   my_mac : int;
+  flight : Flight.t;  (* controller flight ring: burn alerts land here *)
   boards : bstate array;
   mutable tenants : tenant list;  (* add_tenant order *)
   mutable replicas : replica list;
@@ -345,15 +354,19 @@ let autoscale_tenant t ten =
   | Some c ->
     let name = ten.spec.Placer.name in
     let completed = Shard_client.completed c in
-    let lat = Shard_client.latency c in
-    let cnt = Stats.Histogram.count lat in
-    let le = Stats.Histogram.count_le lat ten.spec.Placer.slo_cycles in
+    (* Attainment now comes from the tenant's Slo object — every request
+       outcome, so timeouts and board-down reissues count against the
+       budget, which the old latency-histogram delta could not see. *)
+    let good = Slo.good_total ten.slo in
+    let total = good + Slo.bad_total ten.slo in
     let d_ops = completed - ten.last_completed in
-    let d_cnt = cnt - ten.last_count in
-    let d_le = le - ten.last_le in
+    let d_cnt = total - ten.last_total in
+    let d_le = good - ten.last_good in
     ten.last_completed <- completed;
-    ten.last_count <- cnt;
-    ten.last_le <- le;
+    ten.last_good <- good;
+    ten.last_total <- total;
+    let paged = ten.page_pending in
+    ten.page_pending <- false;
     let n_serving = max 1 (List.length (serving t name)) in
     let cap = max 1 ten.spec.Placer.capacity_hint in
     if d_cnt >= t.cfg.min_samples then begin
@@ -381,12 +394,19 @@ let autoscale_tenant t ten =
     end;
     if not ten.migrating then begin
       let n = List.length (counted t name) in
-      if (ten.bad_epochs >= t.cfg.up_epochs
+      (* A Page burn alert is an immediate scale-up trigger: the budget
+         is bleeding too fast to wait out [up_epochs] of confirmation. *)
+      if (paged
+         || ten.bad_epochs >= t.cfg.up_epochs
          || ten.hot_epochs >= t.cfg.up_epochs)
          && n < ten.spec.Placer.max_replicas
       then begin
         let why =
-          if ten.bad_epochs >= t.cfg.up_epochs then
+          if paged then
+            Printf.sprintf "burn-rate page (fast %.1f)"
+              (Slo.burn_rate ten.slo
+                 ~windows:(Slo.objective ten.slo).Slo.fast_windows)
+          else if ten.bad_epochs >= t.cfg.up_epochs then
             Printf.sprintf "slo attainment %d%%"
               (if d_cnt > 0 then d_le * 100 / d_cnt else 0)
           else "demand above capacity"
@@ -615,6 +635,21 @@ let arm_telemetry t =
 
 let create ?(config = default_config) cluster ~slot_cells =
   let mac, my_mac = Cluster.add_client ~gbps:10.0 cluster in
+  (* Controller flight ring, armed like the kernels' (APIARY_FLIGHT=1
+     enables at construction, APIARY_FLIGHT_CAP resizes): burn-rate
+     alerts and other controller events land here for postmortems. *)
+  let flight =
+    let f =
+      match Sys.getenv_opt "APIARY_FLIGHT_CAP" with
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some c when c > 0 -> Flight.create ~capacity:c ()
+        | _ -> Flight.create ())
+      | None -> Flight.create ()
+    in
+    if Sys.getenv_opt "APIARY_FLIGHT" = Some "1" then Flight.set_enabled f true;
+    f
+  in
   let boards =
     Array.init (Cluster.n_boards cluster) (fun b ->
         let pool = Node.free_tiles (Cluster.node cluster b) in
@@ -642,6 +677,7 @@ let create ?(config = default_config) cluster ~slot_cells =
       cfg = config;
       mac;
       my_mac;
+      flight;
       boards;
       tenants = [];
       replicas = [];
@@ -657,30 +693,65 @@ let add_tenant t ~spec ~behavior =
   if t.started then invalid_arg "Sched.add_tenant: scheduler already started";
   if List.exists (fun ten -> ten.spec.Placer.name = spec.Placer.name) t.tenants
   then invalid_arg "Sched.add_tenant: duplicate tenant";
-  t.tenants <-
-    t.tenants
-    @ [
-        {
-          spec;
-          behavior;
-          client = None;
-          bad_epochs = 0;
-          hot_epochs = 0;
-          idle_epochs = 0;
-          last_completed = 0;
-          last_count = 0;
-          last_le = 0;
-          last_migration = -max_int / 2;
-          migrating = false;
-          serving_now = 0;
-          last_change = 0;
-          acc_replica_cycles = 0;
-        };
-      ]
+  let slo =
+    Slo.create
+      (Slo.default_objective
+         ~target_pct:(float_of_int t.cfg.slo_target_pct)
+         ~window:t.cfg.slo_window ~min_samples:t.cfg.slo_min_samples
+         ~tenant:spec.Placer.name ~latency_cycles:spec.Placer.slo_cycles ())
+  in
+  let ten =
+    {
+      spec;
+      behavior;
+      client = None;
+      slo;
+      page_pending = false;
+      bad_epochs = 0;
+      hot_epochs = 0;
+      idle_epochs = 0;
+      last_completed = 0;
+      last_good = 0;
+      last_total = 0;
+      last_migration = -max_int / 2;
+      migrating = false;
+      serving_now = 0;
+      last_change = 0;
+      acc_replica_cycles = 0;
+    }
+  in
+  (* Burn alerts are decisions too: logged, counted, span-marked, and
+     recorded into the controller flight ring (the PR-5 alarm path). A
+     Page also primes the autoscaler for an immediate scale-up. *)
+  Slo.on_alert slo (fun (a : Slo.alert) ->
+      let sev = Slo.severity_to_string a.Slo.a_severity in
+      decide t ~kind:"slo_alert" ~tenant:spec.Placer.name
+        (Printf.sprintf "%s burn fast %.1f slow %.1f" sev a.Slo.a_burn_fast
+           a.Slo.a_burn_slow);
+      Flight.record t.flight ~ts:a.Slo.a_cycle ~tile:(-1) ~cat:"slo" ~name:sev
+        ~args:
+          [
+            ("tenant", spec.Placer.name);
+            ("burn_fast", Printf.sprintf "%.1f" a.Slo.a_burn_fast);
+            ("burn_slow", Printf.sprintf "%.1f" a.Slo.a_burn_slow);
+          ]
+        ();
+      if a.Slo.a_severity = Slo.Page then ten.page_pending <- true);
+  t.tenants <- t.tenants @ [ ten ]
 
 let watch t ~tenant client =
   let ten = tenant_of t tenant in
-  ten.client <- Some client
+  ten.client <- Some client;
+  (* Every request outcome — Ok, timeout, board-down reissue, non-Ok
+     reply — feeds the tenant's error budget. Completions happen on the
+     rack sim (member 0), so Seq/Par byte-identity is preserved. *)
+  Shard_client.set_on_outcome client (fun ~now ~latency ->
+      let good =
+        match latency with
+        | Some l -> l <= ten.spec.Placer.slo_cycles
+        | None -> false
+      in
+      Slo.observe ten.slo ~now ~good)
 
 (* Initial placement runs before the engine does, so replicas go
    straight onto their tiles (boot-time configuration, not PR) and are
@@ -727,6 +798,11 @@ let start t =
     t.tenants;
   Cluster.on_board_down t.cluster (fun b -> handle_board_down t b);
   Cluster.on_board_up t.cluster (fun b -> handle_board_up t b);
+  (* Close SLO windows on the clock, not just on traffic: a tenant that
+     goes quiet mid-incident must still get its alerts evaluated. *)
+  Sim.every t.sim ~start:t.cfg.slo_window t.cfg.slo_window (fun () ->
+      let now = Sim.now t.sim in
+      List.iter (fun ten -> Slo.check ten.slo ~now) t.tenants);
   Sim.every t.sim ~start:t.cfg.epoch t.cfg.epoch (fun () -> epoch_tick t)
 
 (* ------------------------------------------------------------------ *)
@@ -777,14 +853,32 @@ let replica_cycles t ~tenant ~now =
   let ten = tenant_of t tenant in
   ten.acc_replica_cycles + (ten.serving_now * (now - ten.last_change))
 
+let slo t ~tenant = (tenant_of t tenant).slo
+let flight t = t.flight
+
+let slo_report_json t =
+  Slo.report_json_string (List.map (fun ten -> ten.slo) t.tenants)
+
+let write_slo_report t path =
+  let oc = open_out path in
+  output_string oc (slo_report_json t);
+  close_out oc
+
 let register_metrics t =
   Registry.add_sampler ~name:"sched" (fun () ->
       List.iter
         (fun ten ->
+          let name = ten.spec.Placer.name in
           Stats.Gauge.set
-            (Registry.gauge
-               (Printf.sprintf "sched.%s.replicas" ten.spec.Placer.name))
-            (float_of_int (List.length (serving t ten.spec.Placer.name))))
+            (Registry.gauge (Printf.sprintf "sched.%s.replicas" name))
+            (float_of_int (List.length (serving t name)));
+          Stats.Gauge.set
+            (Registry.gauge (Printf.sprintf "sched.%s.burn_fast" name))
+            (Slo.burn_rate ten.slo
+               ~windows:(Slo.objective ten.slo).Slo.fast_windows);
+          Stats.Gauge.set
+            (Registry.gauge (Printf.sprintf "sched.%s.budget_pct" name))
+            (Slo.budget_remaining_pct ten.slo))
         t.tenants;
       Array.iter
         (fun bs ->

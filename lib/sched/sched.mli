@@ -47,6 +47,8 @@
 module Shell := Apiary_core.Shell
 module Cluster := Apiary_cluster.Cluster
 module Shard_client := Apiary_cluster.Shard_client
+module Slo := Apiary_obs.Slo
+module Flight := Apiary_obs.Flight
 
 type config = {
   report_period : int;  (** cycles between board load beacons *)
@@ -69,13 +71,21 @@ type config = {
       (** must match the boards' kernel config (default 8) — the
           controller predicts PR completion with the same constant *)
   max_migrations_per_epoch : int;
+  slo_window : int;
+      (** SLO accounting window ({!Apiary_obs.Slo}), cycles; windows
+          also close on this clock so alerts fire even when a tenant
+          goes quiet *)
+  slo_min_samples : int;
+      (** burn rates read as 0 over window spans with fewer samples
+          than this ({!Apiary_obs.Slo.objective}'s [min_samples]) —
+          size it to the window, not the epoch *)
 }
 
 val default_config : config
 (** beacons every 1000, epoch 20_000, 2 up / 3 down epochs, 99% SLO
     target, 90/25% utilization bands, hot 2000 / cold 800 msgs/beacon,
     cooldown 60_000, drain 30_000, margin 128, PR 8 B/cycle, 1
-    migration per epoch. *)
+    migration per epoch, SLO window 5_000 with 20 min samples. *)
 
 type t
 
@@ -94,9 +104,12 @@ val add_tenant :
     board kernel on boot, as {!Apiary_accel.Accels} behaviors do). *)
 
 val watch : t -> tenant:string -> Shard_client.t -> unit
-(** Bind the tenant's external load generator: the autoscaler reads its
-    completion counters and latency histogram, and every placement
-    change re-syncs its shard ring so traffic follows the placement. *)
+(** Bind the tenant's external load generator: every request outcome
+    (including timeouts, which no latency histogram can see) feeds the
+    tenant's {!Apiary_obs.Slo} error budget — the autoscaler's
+    attainment signal — and every placement change re-syncs the client's
+    shard ring so traffic follows the placement. Claims the client's
+    [set_on_outcome] hook. *)
 
 val start : t -> unit
 (** Place initial replicas (each tenant at its reservation, in
@@ -111,7 +124,7 @@ type decision = {
   d_cycle : int;
   d_kind : string;
       (** [place], [scale_up], [scale_down], [migrate], [replace],
-          [defer], [abort], [board_down] *)
+          [defer], [abort], [board_down], [slo_alert] *)
   d_tenant : string;  (** ["-"] for board-level events *)
   d_board : int;  (** destination board, [-1] when not applicable *)
   d_src : int;  (** migration source board, [-1] otherwise *)
@@ -150,7 +163,24 @@ val replica_cycles : t -> tenant:string -> now:int -> int
 val board_load : t -> int -> int
 (** Last beaconed message delta for a board (the controller's view). *)
 
+val slo : t -> tenant:string -> Slo.t
+(** The tenant's SLO object: error-budget totals, burn rates, the alert
+    log, and the first-below-target cycle. *)
+
+val slo_report_json : t -> string
+(** Per-tenant SLO report ({!Apiary_obs.Slo.report_json_string}) over
+    all tenants in [add_tenant] order — byte-stable. *)
+
+val write_slo_report : t -> string -> unit
+
+val flight : t -> Flight.t
+(** The controller's flight ring. Burn-rate alerts are recorded into it
+    (category ["slo"], name ["page"]/["ticket"]); arm it with
+    [APIARY_FLIGHT=1] (size with [APIARY_FLIGHT_CAP]) or
+    {!Apiary_obs.Flight.set_enabled}, like the kernels' rings. *)
+
 val register_metrics : t -> unit
 (** Install an [Apiary_obs.Registry] sampler publishing per-tenant
-    replica gauges and per-board load gauges under [sched.*] (decision
-    counters are maintained under [sched.<kind>] as they happen). *)
+    replica/burn-rate/budget gauges and per-board load gauges under
+    [sched.*] (decision counters are maintained under [sched.<kind>] as
+    they happen). *)

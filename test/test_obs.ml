@@ -141,10 +141,12 @@ let test_registry_snapshot_sorted () =
   ignore (Registry.counter "a");
   ignore (Registry.gauge "m");
   let names = List.map fst (Registry.snapshot ()) in
-  (* The built-in obs.span sampler contributes its two gauges even
+  (* The built-in obs.span sampler contributes its three gauges even
      after clear; everything still comes back alphabetical. *)
   Alcotest.(check (list string)) "alphabetical"
-    [ "a"; "m"; "obs.span.dropped"; "obs.span.events"; "z" ]
+    [
+      "a"; "m"; "obs.span.dropped"; "obs.span.events"; "obs.span.sampled"; "z";
+    ]
     names;
   Registry.clear ()
 
@@ -313,6 +315,289 @@ let test_capture_byte_stable_across_runs () =
   Alcotest.(check string) "two fixed-seed captures export identically" s1 s2
 
 (* ------------------------------------------------------------------ *)
+(* Series: windowed rollups *)
+
+module Series = Apiary_obs.Series
+module Slo = Apiary_obs.Slo
+module Critical_path = Apiary_obs.Critical_path
+
+(* Random streams of (cycle-gap, value) samples against random window
+   widths and ring capacities: nothing is ever lost — whatever the ring
+   evicts folds into the evicted aggregate, so
+
+     evicted + sum-of-ring + open = whole-run totals
+
+   holds exactly for counts and sums, and the ring never exceeds its
+   capacity. *)
+let series_stream_gen =
+  QCheck.Gen.(
+    triple (int_range 1 50) (int_range 1 8)
+      (list_size (int_range 0 200) (pair (int_range 0 30) (int_range 0 100))))
+
+let prop_series_conservation =
+  QCheck.Test.make ~name:"series conservation" ~count:200
+    (QCheck.make series_stream_gen)
+    (fun (window, capacity, stream) ->
+      let s = Series.create ~capacity ~window () in
+      let now = ref 0 in
+      List.iter
+        (fun (dt, v) ->
+          now := !now + dt;
+          Series.observe s ~now:!now "m" v)
+        stream;
+      let ring f = List.fold_left (fun a r -> a + f r) 0 (Series.rollups s "m") in
+      let _, ec, _ = Series.evicted s "m" in
+      let mid_run =
+        Series.total_count s "m"
+        = ec + ring (fun r -> r.Series.r_count) + Series.open_count s "m"
+      in
+      (* Close everything out: the open window empties and conservation
+         must hold with sums too. *)
+      Series.close_upto s (!now + window);
+      let _, ec', es' = Series.evicted s "m" in
+      mid_run
+      && Series.open_count s "m" = 0
+      && Series.total_count s "m" = ec' + ring (fun r -> r.Series.r_count)
+      && Series.total_sum s "m" = es' + ring (fun r -> r.Series.r_sum)
+      && List.length (Series.rollups s "m") <= capacity)
+
+let test_series_grid_and_json () =
+  let mk () =
+    let s = Series.create ~capacity:4 ~window:100 () in
+    List.iter
+      (fun (now, v) -> Series.observe s ~now "lat" v)
+      [ (10, 5); (20, 7); (150, 9); (430, 1); (900, 2); (901, 40) ];
+    Series.close_upto s 1_000;
+    s
+  in
+  let s = mk () in
+  let rs = Series.rollups s "lat" in
+  Alcotest.(check bool) "ring bounded" true (List.length rs <= 4);
+  List.iter
+    (fun (r : Series.rollup) ->
+      Alcotest.(check int) "grid-aligned" 0 (r.Series.r_start mod 100))
+    rs;
+  (match rs with
+  | a :: b :: _ ->
+    Alcotest.(check int) "contiguous (empty windows included)" 100
+      (b.Series.r_start - a.Series.r_start)
+  | _ -> Alcotest.fail "expected several retained windows");
+  let busy =
+    List.find (fun (r : Series.rollup) -> r.Series.r_start = 900) rs
+  in
+  Alcotest.(check int) "window count" 2 busy.Series.r_count;
+  Alcotest.(check int) "window sum" 42 busy.Series.r_sum;
+  Alcotest.(check int) "window min" 2 busy.Series.r_min;
+  Alcotest.(check int) "window max" 40 busy.Series.r_max;
+  Alcotest.(check bool) "percentiles monotone" true
+    (busy.Series.r_p50 <= busy.Series.r_p90
+    && busy.Series.r_p90 <= busy.Series.r_p99
+    && busy.Series.r_p99 <= busy.Series.r_p999);
+  Alcotest.(check string) "json byte-stable" (Series.json_string (mk ()))
+    (Series.json_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Span sampling *)
+
+let test_sampling_deterministic () =
+  let capture () =
+    with_spans (fun () ->
+        Span.set_sampling ~head_mod:4 ~slow_cycles:500 ();
+        Fun.protect
+          ~finally:(fun () -> Span.set_sampling ())
+          (fun () ->
+            for c = 1 to 200 do
+              let sid =
+                Span.start ~corr:c ~cat:"t" ~name:"rpc" ~track:0 ~ts:(c * 10) ()
+              in
+              Span.finish ~ts:((c * 10) + (c mod 7)) sid
+            done;
+            ( Span.count (),
+              Span.sampled (),
+              Export.chrome_trace_string (Span.events ()) )))
+  in
+  let kept1, away1, s1 = capture () in
+  let kept2, _, s2 = capture () in
+  Alcotest.(check bool) "head sampling keeps a strict subset" true
+    (kept1 > 0 && kept1 < 200);
+  Alcotest.(check int) "kept + sampled = offered" 200 (kept1 + away1);
+  Alcotest.(check int) "deterministic kept count" kept1 kept2;
+  Alcotest.(check string) "byte-identical capture" s1 s2
+
+(* With an astronomically sparse head (keep ~1 corr in 10^6), only the
+   tail rules retain anything: slowness, an alarm-family name, or a
+   non-ok status. *)
+let test_sampling_tail_keep () =
+  with_spans (fun () ->
+      Span.set_sampling ~head_mod:1_000_003 ~slow_cycles:1_000 ();
+      Fun.protect
+        ~finally:(fun () -> Span.set_sampling ())
+        (fun () ->
+          Span.complete ~corr:5 ~cat:"t" ~name:"rpc" ~track:0 ~ts:10 ~dur:5 ();
+          Alcotest.(check int) "fast ok span sampled away" 0 (Span.count ());
+          Alcotest.(check int) "sampled counter ticks" 1 (Span.sampled ());
+          Span.complete ~corr:5 ~cat:"t" ~name:"rpc" ~track:0 ~ts:20 ~dur:2_000
+            ();
+          Alcotest.(check int) "slow span tail-kept" 1 (Span.count ());
+          Span.instant ~corr:5 ~cat:"mon" ~name:"timeout" ~track:0 ~ts:30 ();
+          Alcotest.(check int) "alarm name tail-kept" 2 (Span.count ());
+          Span.complete ~corr:5
+            ~args:[ ("status", "err") ]
+            ~cat:"t" ~name:"rpc" ~track:0 ~ts:40 ~dur:3 ();
+          Alcotest.(check int) "error status tail-kept" 3 (Span.count ());
+          (* A head-dropped open span parks until finish decides. *)
+          let sid = Span.start ~corr:5 ~cat:"t" ~name:"rpc" ~track:0 ~ts:50 () in
+          Alcotest.(check int) "open span parked, not recorded" 3 (Span.count ());
+          Span.finish ~ts:2_000 sid;
+          Alcotest.(check int) "parked span promoted when slow" 4 (Span.count ());
+          Span.complete ~corr:0 ~cat:"t" ~name:"rpc" ~track:0 ~ts:60 ~dur:1 ();
+          Alcotest.(check int) "uncorrelated spans always kept" 5 (Span.count ())))
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn-rate alerting *)
+
+let mk_slo () =
+  Slo.create
+    (Slo.default_objective ~target_pct:99.0 ~window:100 ~fast_windows:2
+       ~slow_windows:12 ~page_burn:8.0 ~ticket_burn:2.0 ~min_samples:5
+       ~tenant:"t" ~latency_cycles:1_000 ())
+
+(* 1000 good requests build up budget, then a total outage burns it:
+   the fast-window page fires at the first window close with enough bad
+   evidence, before cumulative attainment actually crosses 99%. *)
+let test_slo_alert_leads_breach () =
+  let s = mk_slo () in
+  for w = 0 to 99 do
+    for k = 0 to 9 do
+      Slo.observe s ~now:((w * 100) + (k * 10)) ~good:true
+    done
+  done;
+  for b = 0 to 19 do
+    Slo.observe s ~now:(10_000 + (b * 20)) ~good:false
+  done;
+  let alert_at = Slo.first_alert_cycle s in
+  let below_at = Slo.first_below_target s in
+  Alcotest.(check (option int)) "page at the first post-outage close"
+    (Some 10_100) alert_at;
+  Alcotest.(check (option int)) "attainment crosses later" (Some 10_200)
+    below_at;
+  (match Slo.alerts s with
+  | a :: _ ->
+    Alcotest.(check bool) "severity is page" true (a.Slo.a_severity = Slo.Page)
+  | [] -> Alcotest.fail "no alert");
+  Alcotest.(check bool) "burn-rate alert leads the breach" true
+    (match (alert_at, below_at) with
+    | Some a, Some b -> a < b
+    | _ -> false)
+
+(* Alerts are edge-triggered: a second excursion pages again only after
+   the fast horizon recovered below the threshold in between. *)
+let test_slo_rearm () =
+  let s = mk_slo () in
+  let now = ref 0 in
+  let feed ~per_window ~windows ~good =
+    for _ = 1 to windows do
+      for k = 0 to per_window - 1 do
+        Slo.observe s ~now:(!now + (k * (100 / per_window))) ~good
+      done;
+      now := !now + 100
+    done
+  in
+  feed ~per_window:10 ~windows:20 ~good:true;
+  feed ~per_window:10 ~windows:3 ~good:false;
+  let pages l =
+    List.length (List.filter (fun a -> a.Slo.a_severity = Slo.Page) l)
+  in
+  Alcotest.(check int) "one page per excursion" 1 (pages (Slo.alerts s));
+  feed ~per_window:10 ~windows:20 ~good:true;
+  feed ~per_window:10 ~windows:3 ~good:false;
+  Alcotest.(check int) "re-armed page on the second excursion" 2
+    (pages (Slo.alerts s))
+
+let test_slo_min_samples_guard () =
+  let s = mk_slo () in
+  (* Three bad requests in a near-idle window: under the guard, no
+     alert, and attainment is not judged below target either. *)
+  Slo.observe s ~now:10 ~good:false;
+  Slo.observe s ~now:40 ~good:false;
+  Slo.observe s ~now:70 ~good:false;
+  Slo.check s ~now:1_000;
+  Alcotest.(check int) "no alert under the traffic guard" 0
+    (List.length (Slo.alerts s));
+  Alcotest.(check (option int)) "not judged below target" None
+    (Slo.first_below_target s)
+
+(* ------------------------------------------------------------------ *)
+(* Critical path on a sampled capture *)
+
+let run_kv_calls_capture ~n =
+  let sim = Sim.create () in
+  let cluster = Cluster.create sim ~boards:2 ~client_ports:1 in
+  ignore
+    (Cluster.install cluster ~board:0 ~service:"kv" (fst (Kv.behavior ())));
+  let done_ = ref 0 in
+  let caller =
+    Shell.behavior "caller" ~on_boot:(fun sh ->
+        Sim.after (Shell.sim sh) 2_000 (fun () ->
+            Cluster.connect cluster ~board:1 sh ~service:"kv" (fun r ->
+                match r with
+                | Error _ -> ()
+                | Ok target ->
+                  let rec go i =
+                    if i < n then
+                      Cluster.call cluster ~board:1 sh target
+                        ~op:Kv.Proto.opcode
+                        (Kv.Proto.encode_req
+                           (Kv.Proto.Put
+                              (Printf.sprintf "k%d" i, Bytes.make 16 'v')))
+                        (fun _ ->
+                          incr done_;
+                          go (i + 1))
+                  in
+                  go 0)))
+  in
+  ignore (Cluster.install cluster ~board:1 caller);
+  Sim.run_for sim 400_000;
+  (!done_, Span.events ())
+
+(* Corr-keyed head sampling keeps or drops whole request families, so
+   every breakdown computed from a sampled capture is well-formed and
+   identical to the same family's breakdown in the unsampled capture. *)
+let test_critical_path_sampled_wellformed () =
+  let done_full, full = with_spans (fun () -> run_kv_calls_capture ~n:40) in
+  Alcotest.(check int) "workload completed" 40 done_full;
+  let _, sampled =
+    with_spans (fun () ->
+        Span.set_sampling ~head_mod:3 ();
+        Fun.protect
+          ~finally:(fun () -> Span.set_sampling ())
+          (fun () -> run_kv_calls_capture ~n:40))
+  in
+  let bd_full = Critical_path.analyze full in
+  let bd_sampled = Critical_path.analyze sampled in
+  Alcotest.(check bool) "some request families survive" true (bd_sampled <> []);
+  Alcotest.(check bool) "sampling thins the families" true
+    (List.length bd_sampled < List.length bd_full);
+  List.iter
+    (fun (b : Critical_path.breakdown) ->
+      if
+        not
+          (b.Critical_path.total >= 0
+          && b.Critical_path.hop >= 0
+          && b.Critical_path.queue >= 0
+          && b.Critical_path.service >= 0
+          && b.Critical_path.hop + b.Critical_path.queue
+             + b.Critical_path.service
+             = b.Critical_path.total)
+      then Alcotest.failf "ill-formed breakdown for corr %d" b.Critical_path.corr;
+      if not (List.mem b bd_full) then
+        Alcotest.failf "sampled breakdown for corr %d differs from full capture"
+          b.Critical_path.corr)
+    bd_sampled
+
+(* ------------------------------------------------------------------ *)
+
+let qc = QCheck_alcotest.to_alcotest
 
 let () =
   Alcotest.run "obs"
@@ -341,11 +626,33 @@ let () =
           Alcotest.test_case "byte stable" `Quick test_export_byte_stable;
           Alcotest.test_case "metrics json" `Quick test_export_metrics_json;
         ] );
+      ( "series",
+        [
+          qc prop_series_conservation;
+          Alcotest.test_case "grid, rollups and json" `Quick
+            test_series_grid_and_json;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "deterministic head sampling" `Quick
+            test_sampling_deterministic;
+          Alcotest.test_case "tail keep rules" `Quick test_sampling_tail_keep;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "alert leads the breach" `Quick
+            test_slo_alert_leads_breach;
+          Alcotest.test_case "edge-trigger and re-arm" `Quick test_slo_rearm;
+          Alcotest.test_case "min-samples guard" `Quick
+            test_slo_min_samples_guard;
+        ] );
       ( "acceptance",
         [
           Alcotest.test_case "cross-board span tree" `Quick
             test_cross_board_span_tree;
           Alcotest.test_case "capture byte-stable" `Quick
             test_capture_byte_stable_across_runs;
+          Alcotest.test_case "critical path on a sampled tree" `Quick
+            test_critical_path_sampled_wellformed;
         ] );
     ]
