@@ -325,7 +325,7 @@ let e12_obs_drill () =
   let series = Series.create ~window () in
   List.iter
     (fun c ->
-      Shard_client.set_on_outcome c (fun ~now ~latency ->
+      Shard_client.set_on_outcome c (fun ~now ~req:_ ~latency ->
           match latency with
           | Some l -> Series.observe series ~now "kv.latency" l
           | None -> Series.observe series ~now "kv.bad" 0))

@@ -26,6 +26,7 @@ let registry =
     ("e13", ("in-fabric introspection: stat service, watchdog, flight recorder", Obs_exp.e13));
     ("e14", ("elastic multi-tenant scheduling: place, migrate, autoscale", Sched_exp.e14));
     ("e15", ("the observability ladder: span, sampling and SLO overhead", Slo_exp.e15));
+    ("e16", ("in-band telemetry plane: push agents, collector, exemplars", Telemetry_exp.e16));
     ("abl", ("design-choice ablations (routing/VCs/depth/flit width)", Ablations.run));
     ("micro", ("Bechamel primitive costs", Micro.run));
   ]

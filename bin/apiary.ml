@@ -203,7 +203,7 @@ let obs_cmd scenario cycles clients seed trace_out metrics_out =
    router columns come from the NoC blocks) over the fabric itself.
    --once renders only the final frame — the CI smoke mode. *)
 
-let top_cmd scenario cycles clients interval once seed slo_cycles =
+let top_cmd scenario cycles clients interval once json seed slo_cycles =
   let sim = Sim.create () in
   let board = Board.create sim in
   let kernel = board.Board.kernel in
@@ -232,62 +232,151 @@ let top_cmd scenario cycles clients interval once seed slo_cycles =
   let n = Kernel.n_tiles kernel in
   let blocks : Perf.t option array = Array.make (n + 1) None in
   let frames = ref 0 in
+  (* SLO deltas are fed once per frame whatever the output mode; the
+     human renderer prints on top of them, the JSON emitter reads the
+     tracker after the run. *)
+  let observe now =
+    let total, good =
+      List.fold_left
+        (fun (t, g) c ->
+          let h = Client.latency c in
+          ( t + Stats.Histogram.count h,
+            g + Stats.Histogram.count_le h slo_cycles ))
+        (0, 0) !cs_ref
+    in
+    Slo.observe_n slo ~now ~good:(good - !last_good)
+      ~bad:(total - !last_total - (good - !last_good));
+    last_good := good;
+    last_total := total
+  in
   let render now =
     incr frames;
-    Printf.printf "\n-- apiary top: cycle %d, scenario %s (frame %d) --\n" now
-      service !frames;
-    Printf.printf "%-5s %-10s %8s %8s %8s %6s %6s %6s %6s %4s\n" "tile"
-      "behavior" "msgs_in" "msgs_out" "syscalls" "deny" "drop" "nack" "fault"
-      "hb";
+    if json then observe now
+    else begin
+      Printf.printf "\n-- apiary top: cycle %d, scenario %s (frame %d) --\n" now
+        service !frames;
+      Printf.printf "%-5s %-10s %8s %8s %8s %6s %6s %6s %6s %4s\n" "tile"
+        "behavior" "msgs_in" "msgs_out" "syscalls" "deny" "drop" "nack" "fault"
+        "hb";
+      for t = 0 to n - 1 do
+        match blocks.(t) with
+        | None -> ()
+        | Some p ->
+          let r slot = Perf.read p slot in
+          Printf.printf "%-5d %-10s %8d %8d %8d %6d %6d %6d %6d %4d\n" t
+            (Monitor.behavior_name (Kernel.monitor kernel t))
+            (r Perf.msgs_in) (r Perf.msgs_out) (r Perf.syscalls)
+            (r Perf.denials) (r Perf.drops) (r Perf.nacks) (r Perf.faults)
+            (r Perf.heartbeats)
+      done;
+      match blocks.(n) with
+      | None -> ()
+      | Some p ->
+        (* The Board query merges every tile's monitor block with every
+           router's, so busy/flits here are the whole board's. *)
+        let flits = Perf.read p Perf.flits in
+        let busy = Perf.read p Perf.busy in
+        Printf.printf
+          "board: %d flits routed (%.3f/cycle), %d credit stalls, peak router occ %d\n"
+          flits
+          (float_of_int flits /. float_of_int (max 1 now))
+          (Perf.read p Perf.credit_stalls)
+          (Perf.read p Perf.occ_peak);
+        Printf.printf
+          "board: %d router-busy cycles — %.1f%% mean router utilization\n" busy
+          (100.0 *. float_of_int busy /. float_of_int (max 1 (now * n)));
+        observe now;
+        let obj = Slo.objective slo in
+        Printf.printf
+          "slo:   %d/%d within %d cycles — attainment %.1f%%, budget left \
+           %.1f%%, burn fast %.1f / slow %.1f%s\n"
+          !last_good !last_total slo_cycles (Slo.attainment_pct slo)
+          (Slo.budget_remaining_pct slo)
+          (Slo.burn_rate slo ~windows:obj.Slo.fast_windows)
+          (Slo.burn_rate slo ~windows:obj.Slo.slow_windows)
+          (match List.length (Slo.alerts slo) with
+          | 0 -> ""
+          | k -> Printf.sprintf ", %d burn alerts" k)
+    end
+  in
+  (* The machine-readable view of the final frame: same counters, same
+     Export string/float conventions as every BENCH_* artifact, so the
+     CI gates can jq it without a scrape. *)
+  let render_json now =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\"cycle\":";
+    Buffer.add_string b (string_of_int now);
+    Buffer.add_string b ",\"scenario\":";
+    Export.buf_add_json_string b service;
+    Buffer.add_string b ",\"frames\":";
+    Buffer.add_string b (string_of_int !frames);
+    Buffer.add_string b ",\"tiles\":[";
+    let first = ref true in
     for t = 0 to n - 1 do
       match blocks.(t) with
       | None -> ()
       | Some p ->
+        if not !first then Buffer.add_char b ',';
+        first := false;
         let r slot = Perf.read p slot in
-        Printf.printf "%-5d %-10s %8d %8d %8d %6d %6d %6d %6d %4d\n" t
-          (Monitor.behavior_name (Kernel.monitor kernel t))
-          (r Perf.msgs_in) (r Perf.msgs_out) (r Perf.syscalls) (r Perf.denials)
-          (r Perf.drops) (r Perf.nacks) (r Perf.faults) (r Perf.heartbeats)
+        Buffer.add_string b "{\"tile\":";
+        Buffer.add_string b (string_of_int t);
+        Buffer.add_string b ",\"behavior\":";
+        Export.buf_add_json_string b
+          (Monitor.behavior_name (Kernel.monitor kernel t));
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string b ",\"";
+            Buffer.add_string b k;
+            Buffer.add_string b "\":";
+            Buffer.add_string b (string_of_int v))
+          [
+            ("msgs_in", r Perf.msgs_in); ("msgs_out", r Perf.msgs_out);
+            ("syscalls", r Perf.syscalls); ("denials", r Perf.denials);
+            ("drops", r Perf.drops); ("nacks", r Perf.nacks);
+            ("faults", r Perf.faults); ("heartbeats", r Perf.heartbeats);
+          ];
+        Buffer.add_char b '}'
     done;
-    match blocks.(n) with
-    | None -> ()
+    Buffer.add_string b "],\"board\":";
+    (match blocks.(n) with
+    | None -> Buffer.add_string b "null"
     | Some p ->
-      (* The Board query merges every tile's monitor block with every
-         router's, so busy/flits here are the whole board's. *)
       let flits = Perf.read p Perf.flits in
       let busy = Perf.read p Perf.busy in
-      Printf.printf
-        "board: %d flits routed (%.3f/cycle), %d credit stalls, peak router occ %d\n"
-        flits
-        (float_of_int flits /. float_of_int (max 1 now))
-        (Perf.read p Perf.credit_stalls)
-        (Perf.read p Perf.occ_peak);
-      Printf.printf
-        "board: %d router-busy cycles — %.1f%% mean router utilization\n" busy
+      Buffer.add_string b "{\"flits\":";
+      Buffer.add_string b (string_of_int flits);
+      Buffer.add_string b ",\"flits_per_cycle\":";
+      Export.buf_add_float b (float_of_int flits /. float_of_int (max 1 now));
+      Buffer.add_string b ",\"credit_stalls\":";
+      Buffer.add_string b (string_of_int (Perf.read p Perf.credit_stalls));
+      Buffer.add_string b ",\"occ_peak\":";
+      Buffer.add_string b (string_of_int (Perf.read p Perf.occ_peak));
+      Buffer.add_string b ",\"busy_cycles\":";
+      Buffer.add_string b (string_of_int busy);
+      Buffer.add_string b ",\"router_util_pct\":";
+      Export.buf_add_float b
         (100.0 *. float_of_int busy /. float_of_int (max 1 (now * n)));
-      let total, good =
-        List.fold_left
-          (fun (t, g) c ->
-            let h = Client.latency c in
-            ( t + Stats.Histogram.count h,
-              g + Stats.Histogram.count_le h slo_cycles ))
-          (0, 0) !cs_ref
-      in
-      Slo.observe_n slo ~now ~good:(good - !last_good)
-        ~bad:(total - !last_total - (good - !last_good));
-      last_good := good;
-      last_total := total;
-      let obj = Slo.objective slo in
-      Printf.printf
-        "slo:   %d/%d within %d cycles — attainment %.1f%%, budget left \
-         %.1f%%, burn fast %.1f / slow %.1f%s\n"
-        good total slo_cycles (Slo.attainment_pct slo)
-        (Slo.budget_remaining_pct slo)
-        (Slo.burn_rate slo ~windows:obj.Slo.fast_windows)
-        (Slo.burn_rate slo ~windows:obj.Slo.slow_windows)
-        (match List.length (Slo.alerts slo) with
-        | 0 -> ""
-        | k -> Printf.sprintf ", %d burn alerts" k)
+      Buffer.add_char b '}');
+    let obj = Slo.objective slo in
+    Buffer.add_string b ",\"slo\":{\"latency_cycles\":";
+    Buffer.add_string b (string_of_int slo_cycles);
+    Buffer.add_string b ",\"good\":";
+    Buffer.add_string b (string_of_int !last_good);
+    Buffer.add_string b ",\"total\":";
+    Buffer.add_string b (string_of_int !last_total);
+    Buffer.add_string b ",\"attainment_pct\":";
+    Export.buf_add_float b (Slo.attainment_pct slo);
+    Buffer.add_string b ",\"budget_remaining_pct\":";
+    Export.buf_add_float b (Slo.budget_remaining_pct slo);
+    Buffer.add_string b ",\"burn_fast\":";
+    Export.buf_add_float b (Slo.burn_rate slo ~windows:obj.Slo.fast_windows);
+    Buffer.add_string b ",\"burn_slow\":";
+    Export.buf_add_float b (Slo.burn_rate slo ~windows:obj.Slo.slow_windows);
+    Buffer.add_string b ",\"alerts\":";
+    Buffer.add_string b (string_of_int (List.length (Slo.alerts slo)));
+    Buffer.add_string b "}}\n";
+    print_string (Buffer.contents b)
   in
   Kernel.install kernel ~tile:reader_tile
     (Apiary_core.Shell.behavior "top" ~on_boot:(fun sh ->
@@ -334,7 +423,10 @@ let top_cmd scenario cycles clients interval once seed slo_cycles =
     Printf.printf "top: no frames collected (cycles too short?)\n";
     1
   end
-  else 0
+  else begin
+    if json then render_json cycles;
+    0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* noc *)
@@ -430,7 +522,7 @@ module Placer = Apiary_sched.Placer
    backs `apiary slo`, which reports the tenants' error budgets and
    burn-rate alerts instead of the placement table. *)
 
-let run_sched_demo ~boards ~cycles ~kill =
+let run_sched_demo ?(echo = true) ~boards ~cycles ~kill () =
   begin
     let sim = Sim.create () in
     let cluster = Cluster.create sim ~boards ~client_ports:5 in
@@ -522,7 +614,9 @@ let run_sched_demo ~boards ~cycles ~kill =
           match Sched.placement sched ~tenant:"web" with
           | b :: _ ->
             victim := b;
-            Printf.printf "[%8d] kill board %d (serving web)\n" (Sim.now sim) b;
+            if echo then
+              Printf.printf "[%8d] kill board %d (serving web)\n" (Sim.now sim)
+                b;
             Cluster.kill cluster ~board:b
           | [] -> ());
     Sim.run_for sim cycles;
@@ -536,7 +630,9 @@ let sched_cmd boards cycles kill decisions_out =
     1
   end
   else begin
-    let sched, clients, health, victim = run_sched_demo ~boards ~cycles ~kill in
+    let sched, clients, health, victim =
+      run_sched_demo ~boards ~cycles ~kill ()
+    in
     Printf.printf "%-6s %10s %8s %6s %9s %9s\n" "tenant" "completed" "slo%"
       "repl" "failovers" "retries";
     List.iter
@@ -572,41 +668,95 @@ let sched_cmd boards cycles kill decisions_out =
 (* ------------------------------------------------------------------ *)
 (* slo *)
 
-let slo_cmd boards cycles kill report_out =
+let slo_cmd boards cycles kill json report_out =
   if boards < 2 then begin
     Printf.eprintf "slo: need at least 2 boards\n";
     1
   end
   else begin
-    let sched, clients, _health, _victim = run_sched_demo ~boards ~cycles ~kill in
-    Printf.printf "%-6s %7s %10s %6s %8s %7s %6s %6s %7s\n" "tenant" "target"
-      "good" "bad" "attain%" "budget%" "fast" "slow" "alerts";
-    List.iter
-      (fun ((s : Placer.tenant), _) ->
-        let t = Sched.slo sched ~tenant:s.Placer.name in
-        let obj = Slo.objective t in
-        Printf.printf "%-6s %6.1f%% %10d %6d %8.1f %7.1f %6.1f %6.1f %7d\n"
-          s.Placer.name obj.Slo.target_pct (Slo.good_total t) (Slo.bad_total t)
-          (Slo.attainment_pct t)
-          (Slo.budget_remaining_pct t)
-          (Slo.burn_rate t ~windows:obj.Slo.fast_windows)
-          (Slo.burn_rate t ~windows:obj.Slo.slow_windows)
-          (List.length (Slo.alerts t)))
-      clients;
-    List.iter
-      (fun ((s : Placer.tenant), _) ->
-        let t = Sched.slo sched ~tenant:s.Placer.name in
-        List.iter
-          (fun (a : Slo.alert) ->
-            Printf.printf
-              "alert: [%8d] %-6s %-6s burn fast %.1f / slow %.1f\n"
-              a.Slo.a_cycle s.Placer.name
-              (Slo.severity_to_string a.Slo.a_severity)
-              a.Slo.a_burn_fast a.Slo.a_burn_slow)
-          (Slo.alerts t))
-      clients;
+    let sched, clients, _health, _victim =
+      run_sched_demo ~echo:(not json) ~boards ~cycles ~kill ()
+    in
+    if json then begin
+      (* One byte-stable document on stdout (Export conventions), jq-able
+         without scraping; the report file is written either way. *)
+      let b = Buffer.create 1024 in
+      Buffer.add_string b "{\"cycles\":";
+      Buffer.add_string b (string_of_int cycles);
+      Buffer.add_string b ",\"tenants\":[";
+      List.iteri
+        (fun i ((s : Placer.tenant), _) ->
+          if i > 0 then Buffer.add_char b ',';
+          let t = Sched.slo sched ~tenant:s.Placer.name in
+          let obj = Slo.objective t in
+          Buffer.add_string b "{\"tenant\":";
+          Export.buf_add_json_string b s.Placer.name;
+          Buffer.add_string b ",\"target_pct\":";
+          Export.buf_add_float b obj.Slo.target_pct;
+          Buffer.add_string b ",\"good\":";
+          Buffer.add_string b (string_of_int (Slo.good_total t));
+          Buffer.add_string b ",\"bad\":";
+          Buffer.add_string b (string_of_int (Slo.bad_total t));
+          Buffer.add_string b ",\"attainment_pct\":";
+          Export.buf_add_float b (Slo.attainment_pct t);
+          Buffer.add_string b ",\"budget_remaining_pct\":";
+          Export.buf_add_float b (Slo.budget_remaining_pct t);
+          Buffer.add_string b ",\"burn_fast\":";
+          Export.buf_add_float b
+            (Slo.burn_rate t ~windows:obj.Slo.fast_windows);
+          Buffer.add_string b ",\"burn_slow\":";
+          Export.buf_add_float b
+            (Slo.burn_rate t ~windows:obj.Slo.slow_windows);
+          Buffer.add_string b ",\"alerts\":[";
+          List.iteri
+            (fun j (a : Slo.alert) ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_string b "{\"cycle\":";
+              Buffer.add_string b (string_of_int a.Slo.a_cycle);
+              Buffer.add_string b ",\"severity\":";
+              Export.buf_add_json_string b
+                (Slo.severity_to_string a.Slo.a_severity);
+              Buffer.add_string b ",\"burn_fast\":";
+              Export.buf_add_float b a.Slo.a_burn_fast;
+              Buffer.add_string b ",\"burn_slow\":";
+              Export.buf_add_float b a.Slo.a_burn_slow;
+              Buffer.add_char b '}')
+            (Slo.alerts t);
+          Buffer.add_string b "]}")
+        clients;
+      Buffer.add_string b "]}\n";
+      print_string (Buffer.contents b)
+    end
+    else begin
+      Printf.printf "%-6s %7s %10s %6s %8s %7s %6s %6s %7s\n" "tenant" "target"
+        "good" "bad" "attain%" "budget%" "fast" "slow" "alerts";
+      List.iter
+        (fun ((s : Placer.tenant), _) ->
+          let t = Sched.slo sched ~tenant:s.Placer.name in
+          let obj = Slo.objective t in
+          Printf.printf "%-6s %6.1f%% %10d %6d %8.1f %7.1f %6.1f %6.1f %7d\n"
+            s.Placer.name obj.Slo.target_pct (Slo.good_total t)
+            (Slo.bad_total t) (Slo.attainment_pct t)
+            (Slo.budget_remaining_pct t)
+            (Slo.burn_rate t ~windows:obj.Slo.fast_windows)
+            (Slo.burn_rate t ~windows:obj.Slo.slow_windows)
+            (List.length (Slo.alerts t)))
+        clients;
+      List.iter
+        (fun ((s : Placer.tenant), _) ->
+          let t = Sched.slo sched ~tenant:s.Placer.name in
+          List.iter
+            (fun (a : Slo.alert) ->
+              Printf.printf
+                "alert: [%8d] %-6s %-6s burn fast %.1f / slow %.1f\n"
+                a.Slo.a_cycle s.Placer.name
+                (Slo.severity_to_string a.Slo.a_severity)
+                a.Slo.a_burn_fast a.Slo.a_burn_slow)
+            (Slo.alerts t))
+        clients
+    end;
     Sched.write_slo_report sched report_out;
-    Printf.printf "slo report -> %s\n" report_out;
+    if not json then Printf.printf "slo report -> %s\n" report_out;
     0
   end
 
@@ -683,12 +833,17 @@ let top_term =
     Arg.(value & flag & info [ "once" ]
            ~doc:"Render only the final frame (batch/CI mode).")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the final frame as one byte-stable JSON object \
+                 instead of the live view.")
+  in
   let slo_cycles =
     Arg.(value & opt int 5_000 & info [ "slo-cycles" ]
            ~doc:"Latency bound the slo row judges requests against.")
   in
-  Term.(const top_cmd $ scenario $ cycles $ clients $ interval $ once $ seed_arg
-        $ slo_cycles)
+  Term.(const top_cmd $ scenario $ cycles $ clients $ interval $ once $ json
+        $ seed_arg $ slo_cycles)
 
 let top_cmd_info =
   Cmd.info "top"
@@ -758,11 +913,16 @@ let slo_term =
     Arg.(value & flag & info [ "kill" ]
            ~doc:"Down a board serving the web tenant mid-run (failure drill).")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one byte-stable JSON document on stdout instead of \
+                 the tables.")
+  in
   let report_out =
     Arg.(value & opt string "slo_report.json" & info [ "report-out" ]
            ~doc:"Per-tenant SLO report output path (JSON).")
   in
-  Term.(const slo_cmd $ boards $ cycles $ kill $ report_out)
+  Term.(const slo_cmd $ boards $ cycles $ kill $ json $ report_out)
 
 let slo_cmd_info =
   Cmd.info "slo"

@@ -13,6 +13,7 @@ module Sim = Apiary_engine.Sim
 module Stats = Apiary_engine.Stats
 module Span = Apiary_obs.Span
 module Registry = Apiary_obs.Registry
+module Exemplar = Apiary_obs.Exemplar
 module Mac = Apiary_net.Mac
 module Frame = Apiary_net.Frame
 module Netproto = Apiary_net.Netproto
@@ -35,6 +36,7 @@ type t = {
   timeout : int;
   pending : (int, pending) Hashtbl.t;  (* req_id -> pending *)
   lat : Stats.Histogram.t;
+  exem : Exemplar.t;  (* client-side latency exemplars, keyed by req id *)
   mutable next_req : int;
   mutable next_work : int;
   mutable issued : int;
@@ -43,7 +45,7 @@ type t = {
   mutable failovers : int;
   mutable running : bool;
   mutable on_complete : now:int -> unit;
-  mutable on_outcome : now:int -> latency:int option -> unit;
+  mutable on_outcome : now:int -> req:int -> latency:int option -> unit;
 }
 
 (* Client span track: ports start at 0x02_0000_0C0000 (Cluster.add_client),
@@ -147,7 +149,7 @@ let rec issue_work t work_id =
                 ~cat:"client" ~name:"failover" ~track:(obs_track t)
                 ~ts:(Sim.now t.sim) ();
             t.failovers <- t.failovers + 1;
-            t.on_outcome ~now:(Sim.now t.sim) ~latency:None;
+            t.on_outcome ~now:(Sim.now t.sim) ~req:req_id ~latency:None;
             drop_board t p.board;
             if t.running then issue_work t p.work_id)
 
@@ -176,7 +178,7 @@ let board_down t board =
           ~cat:"client" ~name:"failover" ~track:(obs_track t)
           ~ts:(Sim.now t.sim) ();
       t.failovers <- t.failovers + 1;
-      t.on_outcome ~now:(Sim.now t.sim) ~latency:None;
+      t.on_outcome ~now:(Sim.now t.sim) ~req:req_id ~latency:None;
       if t.running then issue_work t p.work_id)
     stale
 
@@ -206,16 +208,20 @@ let handle_frame t (f : Frame.t) =
            off briefly and reissue the work item, so a placement change
            never loses a request. *)
         t.errors <- t.errors + 1;
-        t.on_outcome ~now:(Sim.now t.sim) ~latency:None;
+        t.on_outcome ~now:(Sim.now t.sim) ~req:rsp.Netproto.rsp_id
+          ~latency:None;
         Sim.after t.sim 64 (fun () ->
             if t.running then issue_work t p.work_id)
       end
       else begin
         let lat = Sim.now t.sim - p.issued_at in
         Stats.Histogram.record t.lat lat;
+        Exemplar.observe t.exem ~corr:rsp.Netproto.rsp_id ~value:lat
+          ~ts:(Sim.now t.sim);
         t.completed <- t.completed + 1;
         t.on_complete ~now:(Sim.now t.sim);
-        t.on_outcome ~now:(Sim.now t.sim) ~latency:(Some lat);
+        t.on_outcome ~now:(Sim.now t.sim) ~req:rsp.Netproto.rsp_id
+          ~latency:(Some lat);
         if t.running then fresh_work t
       end)
 
@@ -240,6 +246,7 @@ let create ?(vnodes = 64) ?(timeout = 25_000) ?gbps cluster ~service ~op ~route
       timeout;
       pending = Hashtbl.create 64;
       lat = Stats.Histogram.create (Printf.sprintf "shard%x.latency" my_mac);
+      exem = Exemplar.create (Printf.sprintf "shard%x.latency" my_mac);
       next_req = 0;
       next_work = 0;
       issued = 0;
@@ -248,7 +255,7 @@ let create ?(vnodes = 64) ?(timeout = 25_000) ?gbps cluster ~service ~op ~route
       failovers = 0;
       running = false;
       on_complete = (fun ~now:_ -> ());
-      on_outcome = (fun ~now:_ ~latency:_ -> ());
+      on_outcome = (fun ~now:_ ~req:_ ~latency:_ -> ());
     }
   in
   Cluster.on_board_up cluster (fun b -> readmit_board t b);
@@ -286,6 +293,7 @@ let completed t = t.completed
 let errors t = t.errors
 let failovers t = t.failovers
 let latency t = t.lat
+let exemplars t = t.exem
 let live_boards t = Shard.boards t.ring
 let set_on_complete t f = t.on_complete <- f
 let set_on_outcome t f = t.on_outcome <- f

@@ -52,12 +52,19 @@ val failovers : t -> int
 (** Requests that timed out and were reissued to a survivor. *)
 
 val latency : t -> Stats.Histogram.t
+
+val exemplars : t -> Apiary_obs.Exemplar.t
+(** One retained request id per latency bucket (latest-wins): the
+    metric→trace link for this client's histogram — a p99 row resolves
+    to a concrete [req_id] whose spans the trace retains. *)
+
 val live_boards : t -> int list
 
 val set_on_complete : t -> (now:int -> unit) -> unit
 (** Hook fired at each completion (e.g. to feed a {!Stats.Series}). *)
 
-val set_on_outcome : t -> (now:int -> latency:int option -> unit) -> unit
+val set_on_outcome :
+  t -> (now:int -> req:int -> latency:int option -> unit) -> unit
 (** Hook fired at every request {e outcome}: [Some latency] (cycles)
     for an [Ok] reply, [None] for a timeout, a watchdog-driven
     board-down reissue, or a non-[Ok] reply. Device backpressure is not

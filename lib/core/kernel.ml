@@ -143,11 +143,7 @@ let create sim cfg =
      bench also arm it explicitly); APIARY_FLIGHT_CAP resizes the ring.
      Disabled (the default), it records nothing and changes no output. *)
   let k_flight =
-    let capacity =
-      match Sys.getenv_opt "APIARY_FLIGHT_CAP" with
-      | Some s -> ( try max 16 (int_of_string s) with _ -> 256)
-      | None -> 256
-    in
+    let capacity = Apiary_obs.Env.int ~min:16 "APIARY_FLIGHT_CAP" ~default:256 in
     let f = Apiary_obs.Flight.create ~capacity () in
     if Sys.getenv_opt "APIARY_FLIGHT" = Some "1" then
       Apiary_obs.Flight.set_enabled f true;

@@ -86,6 +86,22 @@ module Histogram = struct
       (1 lsl e) + (off lsl (e - 5)) + (1 lsl (e - 6))
     end
 
+  (* Public aliases: exemplar stores key their samples by the same
+     bucket grid so a retained sample provably lands in the bucket the
+     percentile math reads from. *)
+  let bucket_of v = index_of (if v < 0 then 0 else v)
+  let bucket_value = value_of
+  let bucket_count = nbuckets
+
+  (* Occupied buckets, ascending — what a telemetry agent diffs between
+     harvests to ship distribution deltas instead of raw samples. *)
+  let nonzero_buckets h =
+    let out = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if h.buckets.(i) > 0 then out := (i, h.buckets.(i)) :: !out
+    done;
+    !out
+
   let record_n h v n =
     let v = if v < 0 then 0 else v in
     h.buckets.(index_of v) <- h.buckets.(index_of v) + n;

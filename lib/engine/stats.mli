@@ -59,6 +59,21 @@ module Histogram : sig
       relative slack, matching {!percentile}) — the cumulative read SLO
       attainment needs. *)
 
+  val bucket_of : int -> int
+  (** Bucket index a sample lands in (negative samples clamp to 0) —
+      the grid exemplar stores share so retained samples align with the
+      buckets percentiles are computed from. *)
+
+  val bucket_value : int -> int
+  (** Representative (midpoint) value of a bucket index. *)
+
+  val bucket_count : int
+  (** Number of buckets in the fixed grid. *)
+
+  val nonzero_buckets : t -> (int * int) list
+  (** Occupied [(bucket, count)] pairs, ascending bucket order — the
+      compact view telemetry agents diff between harvests. *)
+
   val stddev : t -> float
   val reset : t -> unit
 

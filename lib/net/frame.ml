@@ -3,6 +3,7 @@ module Checksum = Apiary_engine.Checksum
 type t = { dst : int; src : int; ethertype : int; payload : bytes }
 
 let ethertype_apiary = 0x88B5
+let ethertype_telem = 0x88B6
 let min_payload = 46
 let max_payload = 1500
 

@@ -16,6 +16,12 @@ val ethertype_apiary : int
 (** 0x88B5 — the IEEE "local experimental" ethertype, used for the RPC
     envelope. *)
 
+val ethertype_telem : int
+(** 0x88B6 — telemetry batches (agent → collector). A separate
+    ethertype lets board NICs discard flooded telemetry without
+    charging their RPC [bad_frames] counter, and keeps the two dialects
+    distinguishable in captures. *)
+
 val min_payload : int
 (** 46 bytes — shorter payloads are padded on the wire, as per 802.3. *)
 

@@ -155,6 +155,11 @@ let behavior ~mac ~my_mac () =
        must not be answered here — a board without the service would
        race a bogus Service_unavailable past the real replica. *)
     if f.Frame.dst <> my_mac then ()
+    else if f.Frame.ethertype <> Frame.ethertype_apiary then
+      (* Another dialect on the wire (e.g. a flooded telemetry batch):
+         not RPC traffic and not a malformed RPC either, so it is
+         ignored without charging [bad_frames]. *)
+      ()
     else begin
       st.rx_frames <- st.rx_frames + 1;
       if Span.on () then

@@ -1,0 +1,30 @@
+(* Tolerant environment-knob parsing. Observability must never take the
+   process down: a typo'd APIARY_* value at boot should cost one stderr
+   line and a fallback to the default, not an [int_of_string] exception
+   before the simulation even starts. *)
+
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 8
+let warned_lock = Mutex.create ()
+
+(* One warning per variable per process: boot code re-reads knobs from
+   multiple modules, and a misconfigured CI job should not scroll the
+   same complaint for every board. *)
+let warn_once name raw ~min ~default =
+  Mutex.lock warned_lock;
+  let first = not (Hashtbl.mem warned name) in
+  if first then Hashtbl.add warned name ();
+  Mutex.unlock warned_lock;
+  if first then
+    Printf.eprintf
+      "apiary: ignoring %s=%S (expected an integer >= %d); using default %d\n%!"
+      name raw min default
+
+let int ?(min = 1) name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= min -> v
+    | Some _ | None ->
+      warn_once name s ~min ~default;
+      default)

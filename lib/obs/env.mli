@@ -1,0 +1,12 @@
+(** Tolerant parsing of APIARY_* environment knobs.
+
+    Observability configuration must never crash the process: a garbage
+    or out-of-range value costs one stderr warning (per variable, per
+    process) and falls back to the built-in default, instead of
+    [int_of_string] raising at boot. *)
+
+val int : ?min:int -> string -> default:int -> int
+(** [int name ~default] reads the integer environment variable [name].
+    Returns [default] when unset; when set but unparsable or below
+    [min] (default 1), prints a one-shot stderr warning naming the
+    variable and the rejected value, and returns [default]. *)

@@ -73,6 +73,24 @@ let snapshot () =
   sample ();
   with_lock (fun () -> sorted_bindings instruments)
 
+(* Prefix-restricted views: a per-board telemetry agent harvesting
+   [b<id>.*] must run only its own board's samplers — running them all
+   would read other boards' component state from this domain, which a
+   partitioned engine forbids mid-run. *)
+
+let sample_prefix prefix =
+  let fns = with_lock (fun () -> sorted_bindings samplers) in
+  List.iter
+    (fun (name, f) -> if String.starts_with ~prefix name then f ())
+    fns
+
+let snapshot_prefix prefix =
+  sample_prefix prefix;
+  with_lock (fun () ->
+      List.filter
+        (fun (name, _) -> String.starts_with ~prefix name)
+        (sorted_bindings instruments))
+
 let reset () =
   with_lock (fun () ->
       Hashtbl.iter

@@ -55,6 +55,17 @@ val sample : unit -> unit
 val snapshot : unit -> (string * instrument) list
 (** Pull samplers, then return every instrument sorted by name. *)
 
+val sample_prefix : string -> unit
+(** Run only the samplers whose name starts with the prefix — what a
+    per-board agent uses so harvesting [b2.*] never executes another
+    board's pull hooks (which would cross partition boundaries under a
+    parallel engine). *)
+
+val snapshot_prefix : string -> (string * instrument) list
+(** {!sample_prefix}, then the instruments under that prefix, sorted.
+    Note samplers and the instruments they fill share the dotted-name
+    prefix convention ([b<id>.], [rack.]) by construction. *)
+
 val reset : unit -> unit
 (** Reset every owned instrument (counters, gauges and histograms alike;
     samplers are kept). *)

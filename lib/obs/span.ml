@@ -51,6 +51,44 @@ let next_pending = ref 0
    the failure mode sampling exists to prevent, so say it once. *)
 let warned_drop = ref false
 
+(* Per-board completion sinks: the telemetry agent on board [b] taps
+   the Dur spans that complete on [b]'s own domain, post-sampling, so
+   shipping them over the fabric never reads another board's state. For
+   one-shot completions the sink decision is a pure function of the
+   span (keep_head/tail_keep), independent of whether the central store
+   had room, so the same spans reach the same agent under Seq and
+   partitioned engines; start/finish spans additionally require the
+   open span to have found a slot (keep the cap ample when agents run).
+   Sinks fire while the recorder lock is held: a sink must not call
+   back into this module. Mark events are not delivered (frame-level
+   points are too chatty for the wire; agents ship intervals). *)
+let sinks : (int, event -> unit) Hashtbl.t = Hashtbl.create 8
+let sinks_lock = Mutex.create ()
+
+let set_sink ~board f =
+  Mutex.lock sinks_lock;
+  Hashtbl.replace sinks board f;
+  Mutex.unlock sinks_lock
+
+let clear_sink ~board =
+  Mutex.lock sinks_lock;
+  Hashtbl.remove sinks board;
+  Mutex.unlock sinks_lock
+
+let clear_sinks () =
+  Mutex.lock sinks_lock;
+  Hashtbl.reset sinks;
+  Mutex.unlock sinks_lock
+
+(* Deliver a completed Dur span to its board's sink, if any. *)
+let notify ev =
+  if ev.board >= 0 then begin
+    Mutex.lock sinks_lock;
+    let f = Hashtbl.find_opt sinks ev.board in
+    Mutex.unlock sinks_lock;
+    match f with Some f -> f ev | None -> ()
+  end
+
 let set_enabled b = flag := b
 let on () = !flag
 
@@ -75,14 +113,9 @@ let set_capacity c =
   Mutex.unlock lock
 
 (* APIARY_OBS_CAP sizes the buffer from the environment, so full-scale
-   --obs runs can raise the cap without a code change. *)
-let () =
-  match Sys.getenv_opt "APIARY_OBS_CAP" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some c when c > 0 -> cap := c
-    | _ -> ())
-  | None -> ()
+   --obs runs can raise the cap without a code change. Garbage values
+   warn once and keep the default (Env). *)
+let () = cap := Env.int "APIARY_OBS_CAP" ~default:!cap
 
 let set_sampling ?head_mod:(hm = 1) ?slow_cycles:(sc = max_int) () =
   if hm < 1 then invalid_arg "Span.set_sampling: head_mod must be >= 1";
@@ -186,7 +219,8 @@ let finish ?(args = []) ~ts id =
         if tail_keep ~name:ev.name ~dur merged then begin
           ev.dur <- dur;
           ev.args <- merged;
-          ignore (push_locked ev)
+          ignore (push_locked ev);
+          notify ev
         end
         else incr n_sampled
       | _ -> Hashtbl.remove pending id
@@ -197,7 +231,8 @@ let finish ?(args = []) ~ts id =
         let ev = !store.(slot - 1) in
         if ev.dur < 0 then begin
           ev.dur <- max 0 (ts - ev.ts);
-          if args <> [] then ev.args <- ev.args @ args
+          if args <> [] then ev.args <- ev.args @ args;
+          notify ev
         end
       end
     end;
@@ -209,10 +244,13 @@ let complete ?(board = -1) ?(corr = 0) ?(args = []) ~cat ~name ~track ~ts ~dur
   if !flag then begin
     let dur = max 0 dur in
     Mutex.lock lock;
-    if keep_head corr || tail_keep ~name ~dur args then
-      ignore
-        (push_locked
-           { seq = 0; name; cat; corr; board; track; ts; dur; ph = Dur; args })
+    if keep_head corr || tail_keep ~name ~dur args then begin
+      let ev =
+        { seq = 0; name; cat; corr; board; track; ts; dur; ph = Dur; args }
+      in
+      ignore (push_locked ev);
+      notify ev
+    end
     else incr n_sampled;
     Mutex.unlock lock
   end

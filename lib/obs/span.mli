@@ -122,6 +122,21 @@ val set_capacity : int -> unit
 (** Cap on retained events (default [1_048_576], or [APIARY_OBS_CAP]
     from the environment at startup); also resets. *)
 
+val set_sink : board:int -> (event -> unit) -> unit
+(** Install (or replace) a per-board completion tap: the callback fires
+    for every {!Dur} span of that board that closes with its duration
+    set {e and} survives sampling — the post-sampling stream a
+    board-local telemetry agent ships over the fabric. The sink runs on
+    the domain that recorded the completion (the board's own, under a
+    partitioned engine) while the recorder lock is held, so it must not
+    call back into this module. {!Mark} events are not delivered.
+    Sinks survive {!reset}. *)
+
+val clear_sink : board:int -> unit
+val clear_sinks : unit -> unit
+(** Remove one / all sinks — always detach agents before a later run
+    re-enables tracing for a different topology. *)
+
 val set_sampling : ?head_mod:int -> ?slow_cycles:int -> unit -> unit
 (** Configure deterministic sampling. [head_mod] (default 1 = keep all)
     keeps corr families with [hash(corr) mod head_mod = 0];

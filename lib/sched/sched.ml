@@ -28,6 +28,7 @@ module Frame = Apiary_net.Frame
 module Board = Apiary_apps.Board
 module Cluster = Apiary_cluster.Cluster
 module Node = Apiary_cluster.Node
+module Collector = Apiary_cluster.Collector
 module Directory = Apiary_cluster.Directory
 module Shard_client = Apiary_cluster.Shard_client
 
@@ -640,12 +641,9 @@ let create ?(config = default_config) cluster ~slot_cells =
      alerts and other controller events land here for postmortems. *)
   let flight =
     let f =
-      match Sys.getenv_opt "APIARY_FLIGHT_CAP" with
-      | Some s -> (
-        match int_of_string_opt (String.trim s) with
-        | Some c when c > 0 -> Flight.create ~capacity:c ()
-        | _ -> Flight.create ())
-      | None -> Flight.create ()
+      Flight.create
+        ~capacity:(Apiary_obs.Env.int "APIARY_FLIGHT_CAP" ~default:256)
+        ()
     in
     if Sys.getenv_opt "APIARY_FLIGHT" = Some "1" then Flight.set_enabled f true;
     f
@@ -745,13 +743,33 @@ let watch t ~tenant client =
   (* Every request outcome — Ok, timeout, board-down reissue, non-Ok
      reply — feeds the tenant's error budget. Completions happen on the
      rack sim (member 0), so Seq/Par byte-identity is preserved. *)
-  Shard_client.set_on_outcome client (fun ~now ~latency ->
+  Shard_client.set_on_outcome client (fun ~now ~req:_ ~latency ->
       let good =
         match latency with
         | Some l -> l <= ten.spec.Placer.slo_cycles
         | None -> false
       in
       Slo.observe ten.slo ~now ~good)
+
+(* The in-band alternative to [watch]'s client-side hook: attainment
+   reconstructed from what the rack collector actually received over
+   the fabric — server-observed service time and status from collected
+   [serve] spans. Requests that died before any replica saw them are
+   invisible here (only the client knows about those), which is the
+   honest trade of moving the SLO signal in-band; E16e measures the
+   difference. The client is still bound via [watch]-less
+   [sync_client], so placement changes keep re-syncing its ring. *)
+let watch_collected t ~tenant collector =
+  let ten = tenant_of t tenant in
+  Collector.on_service_outcome collector (fun ~now (o : Collector.outcome) ->
+      if o.Collector.o_service = ten.spec.Placer.name then begin
+        let good = o.Collector.o_ok && o.Collector.o_dur <= ten.spec.Placer.slo_cycles in
+        Slo.observe ten.slo ~now ~good
+      end)
+
+let watch_client_only t ~tenant client =
+  let ten = tenant_of t tenant in
+  ten.client <- Some client
 
 (* Initial placement runs before the engine does, so replicas go
    straight onto their tiles (boot-time configuration, not PR) and are

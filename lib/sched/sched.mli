@@ -111,6 +111,21 @@ val watch : t -> tenant:string -> Shard_client.t -> unit
     shard ring so traffic follows the placement. Claims the client's
     [set_on_outcome] hook. *)
 
+val watch_collected : t -> tenant:string -> Apiary_cluster.Collector.t -> unit
+(** In-band alternative to {!watch}: feed the tenant's error budget
+    from the rack {!Apiary_cluster.Collector}'s service-outcome stream
+    (server-observed latency and status from collected [serve] spans,
+    delivered over the fabric) instead of the client's local hook.
+    Honestly blind to requests no replica ever saw — client-side
+    timeouts stay client-side; E16e measures the gap. Combine with
+    {!watch_client_only} so placement changes still re-sync the
+    client's shard ring. *)
+
+val watch_client_only : t -> tenant:string -> Shard_client.t -> unit
+(** Bind the tenant's client for shard-ring re-syncs on placement
+    changes {e without} claiming its outcome hook (used alongside
+    {!watch_collected}). *)
+
 val start : t -> unit
 (** Place initial replicas (each tenant at its reservation, in
     [add_tenant] order), arm board beacons and health watchdogs, and

@@ -16,6 +16,11 @@ module Cluster = Apiary_cluster.Cluster
 
 (* The recorder and registry are process-global; every test leaves them
    disabled and empty. *)
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
 let with_spans f =
   Span.reset ();
   Span.set_enabled true;
@@ -183,6 +188,32 @@ let test_export_byte_stable () =
       Alcotest.(check string) "same list renders identically"
         (Export.chrome_trace_string evs)
         (Export.chrome_trace_string evs))
+
+let test_export_empty_capture () =
+  (* No spans at all is a legal capture: the export is still one valid,
+     well-formed document with an empty event array and no truncation
+     marker. *)
+  let s = Export.chrome_trace_string [] in
+  Alcotest.(check bool) "has traceEvents" true
+    (contains s "\"traceEvents\"");
+  Alcotest.(check bool) "no truncation marker" false
+    (contains s "trace_truncated");
+  Alcotest.(check string) "byte stable" s (Export.chrome_trace_string [])
+
+let test_export_truncation_marker () =
+  with_spans (fun () ->
+      Span.instant ~cat:"c" ~name:"x" ~track:0 ~ts:1 ();
+      let evs = Span.events () in
+      (* dropped = 0 is a complete capture: stamping it as truncated
+         would cry wolf on every artifact. *)
+      Alcotest.(check bool) "absent when dropped = 0" false
+        (contains (Export.chrome_trace_string ~dropped:0 evs)
+           "trace_truncated");
+      let s = Export.chrome_trace_string ~dropped:7 evs in
+      Alcotest.(check bool) "present when dropped > 0" true
+        (contains s "trace_truncated");
+      Alcotest.(check bool) "carries the count" true
+        (contains s "{\"dropped\":\"7\"}"))
 
 let test_export_metrics_json () =
   Registry.clear ();
@@ -624,6 +655,9 @@ let () =
         [
           Alcotest.test_case "escapes and sorts" `Quick test_export_escapes_and_sorts;
           Alcotest.test_case "byte stable" `Quick test_export_byte_stable;
+          Alcotest.test_case "empty capture" `Quick test_export_empty_capture;
+          Alcotest.test_case "truncation marker iff dropped" `Quick
+            test_export_truncation_marker;
           Alcotest.test_case "metrics json" `Quick test_export_metrics_json;
         ] );
       ( "series",
